@@ -1,0 +1,67 @@
+// Ablation: sensitivity of the Chronos conclusions to the task-duration
+// distribution (§IV's remark that the analysis extends beyond Pareto).
+//
+// For four duration laws with matched lower bound and comparable scale —
+// Pareto (the paper's model, infinite variance), shifted lognormal, shifted
+// Weibull, and shifted exponential — this bench runs the generic analysis
+// and optimizer and reports each strategy's optimal operating point.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/generic.h"
+
+namespace {
+
+using namespace chronos;  // NOLINT
+using namespace chronos::core;  // NOLINT
+
+}  // namespace
+
+int main() {
+  GenericJobParams job;
+  job.num_tasks = 100;
+  job.deadline = 180.0;
+  job.tau_est = 9.0;
+  job.tau_kill = 24.0;
+  job.phi_est = 0.1;
+
+  Economics econ;
+  econ.price = 0.4;
+  econ.theta = 1e-4;
+  econ.r_min = 0.0;
+
+  std::vector<std::unique_ptr<stats::Distribution>> dists;
+  dists.push_back(std::make_unique<stats::ParetoDistribution>(30.0, 1.5));
+  dists.push_back(std::make_unique<stats::ShiftedLogNormal>(30.0, 3.7, 0.9));
+  dists.push_back(std::make_unique<stats::ShiftedWeibull>(30.0, 55.0, 0.8));
+  dists.push_back(std::make_unique<stats::ShiftedExponential>(30.0, 1.0 / 60.0));
+
+  std::printf(
+      "Ablation: task-duration distribution (N=%d, D=%.0fs, theta=%g)\n\n",
+      job.num_tasks, job.deadline, econ.theta);
+
+  bench::Table table({"Distribution", "mean", "P(T>D)", "Strategy", "r*",
+                      "PoCD", "E(T)", "Utility"});
+  for (const auto& dist : dists) {
+    for (const Strategy strategy :
+         {Strategy::kClone, Strategy::kSpeculativeRestart,
+          Strategy::kSpeculativeResume}) {
+      const auto best = generic_optimize(strategy, job, *dist, econ, 32);
+      table.add_row({dist->name(), bench::fmt(dist->mean(), 1),
+                     bench::fmt(dist->survival(job.deadline), 4),
+                     to_string(strategy), bench::fmt_int(best.r_opt),
+                     bench::fmt(best.pocd, 4),
+                     bench::fmt(best.machine_time, 1),
+                     bench::fmt_utility(best.utility)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nExpected: the qualitative conclusions survive the distribution\n"
+      "change — speculation pays off whenever the tail is meaningful, the\n"
+      "optimal r shrinks as tails lighten (exponential needs the least),\n"
+      "and S-Resume remains the best or near-best strategy throughout.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace chronos::bench {
+
+/// Formats a utility that may be -infinity.
+inline std::string fmt_utility(double u) {
+  if (std::isinf(u)) {
+    return u < 0 ? "-inf" : "+inf";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", u);
+  return buffer;
+}
+
+/// Simple fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+    }
+    print_row(headers_, widths);
+    std::string rule;
+    for (const auto w : widths) {
+      rule += std::string(w + 2, '-');
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      print_row(row, widths);
+    }
+  }
+
+ private:
+  static void print_row(const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& widths) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 3) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+}  // namespace chronos::bench

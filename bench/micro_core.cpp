@@ -1,0 +1,137 @@
+// Microbenchmarks of the analytic core: closed-form evaluation, the
+// quadrature-backed S-Restart cost, Algorithm 1, and the Monte-Carlo
+// validator. These quantify the per-job planning overhead an Application
+// Master would pay at submission (§VI).
+#include <benchmark/benchmark.h>
+
+#include "core/chronos.h"
+
+namespace {
+
+using namespace chronos::core;  // NOLINT
+
+JobParams bench_job() {
+  JobParams params;
+  params.num_tasks = 100;
+  params.deadline = 180.0;
+  params.t_min = 30.0;
+  params.beta = 1.5;
+  params.tau_est = 9.0;
+  params.tau_kill = 24.0;
+  params.phi_est = default_phi_est(params);
+  return params;
+}
+
+Economics bench_econ() {
+  Economics econ;
+  econ.price = 0.4;
+  econ.theta = 1e-4;
+  econ.r_min = 0.3;
+  return econ;
+}
+
+void BM_PocdClone(benchmark::State& state) {
+  const auto params = bench_job();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pocd_clone(params, 2.0));
+  }
+}
+BENCHMARK(BM_PocdClone);
+
+void BM_PocdSResume(benchmark::State& state) {
+  const auto params = bench_job();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pocd_s_resume(params, 2.0));
+  }
+}
+BENCHMARK(BM_PocdSResume);
+
+void BM_CostClone(benchmark::State& state) {
+  const auto params = bench_job();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine_time_clone(params, 2.0));
+  }
+}
+BENCHMARK(BM_CostClone);
+
+void BM_CostSRestartQuadrature(benchmark::State& state) {
+  const auto params = bench_job();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine_time_s_restart(params, 2.0));
+  }
+}
+BENCHMARK(BM_CostSRestartQuadrature);
+
+void BM_CostSResume(benchmark::State& state) {
+  const auto params = bench_job();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine_time_s_resume(params, 2.0));
+  }
+}
+BENCHMARK(BM_CostSResume);
+
+void BM_OptimizeClone(benchmark::State& state) {
+  const auto params = bench_job();
+  const auto econ = bench_econ();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize(Strategy::kClone, params, econ));
+  }
+}
+BENCHMARK(BM_OptimizeClone);
+
+void BM_OptimizeSRestart(benchmark::State& state) {
+  const auto params = bench_job();
+  const auto econ = bench_econ();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize(Strategy::kSpeculativeRestart, params, econ));
+  }
+}
+BENCHMARK(BM_OptimizeSRestart);
+
+void BM_OptimizeSResume(benchmark::State& state) {
+  const auto params = bench_job();
+  const auto econ = bench_econ();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        optimize(Strategy::kSpeculativeResume, params, econ));
+  }
+}
+BENCHMARK(BM_OptimizeSResume);
+
+void BM_OptimizeAll(benchmark::State& state) {
+  const auto params = bench_job();
+  const auto econ = bench_econ();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimize_all(params, econ));
+  }
+}
+BENCHMARK(BM_OptimizeAll);
+
+void BM_BruteForceOptimize(benchmark::State& state) {
+  const auto params = bench_job();
+  const auto econ = bench_econ();
+  OptimizerOptions options;
+  options.max_r = static_cast<long long>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        brute_force_optimize(Strategy::kClone, params, econ, options));
+  }
+}
+BENCHMARK(BM_BruteForceOptimize)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_MonteCarloClone(benchmark::State& state) {
+  const auto params = bench_job();
+  chronos::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        monte_carlo(Strategy::kClone, params, 2,
+                    static_cast<std::uint64_t>(state.range(0)), rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonteCarloClone)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Microbenchmarks of the simulation substrate: event-queue throughput and
+// end-to-end scheduler runs per strategy.
+#include <benchmark/benchmark.h>
+
+#include "mapreduce/scheduler.h"
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "strategies/policies.h"
+
+namespace {
+
+using namespace chronos;  // NOLINT
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (long long i = 0; i < n; ++i) {
+      queue.schedule(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    while (!queue.empty()) {
+      queue.pop().fn();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleFire)->Arg(1000)->Arg(100000);
+
+void BM_EventQueueCancelHalf(benchmark::State& state) {
+  const auto n = state.range(0);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(n));
+    for (long long i = 0; i < n; ++i) {
+      ids.push_back(
+          queue.schedule(static_cast<double>(i % 977), [] {}));
+    }
+    for (long long i = 0; i < n; i += 2) {
+      queue.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    while (!queue.empty()) {
+      queue.pop().fn();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueCancelHalf)->Arg(10000);
+
+mapreduce::JobSpec bench_job(int tasks) {
+  mapreduce::JobSpec spec;
+  spec.num_tasks = tasks;
+  spec.deadline = 180.0;
+  spec.t_min = 30.0;
+  spec.beta = 1.5;
+  spec.tau_est = 40.0;
+  spec.tau_kill = 80.0;
+  spec.r = 2;
+  return spec;
+}
+
+void run_one_job(strategies::PolicyKind kind, int tasks,
+                 std::uint64_t seed) {
+  sim::Simulator simulator;
+  sim::NodeConfig node;
+  node.containers = 64;
+  sim::Cluster cluster(sim::ClusterConfig::uniform(16, node));
+  auto policy = strategies::make_policy(kind);
+  mapreduce::Scheduler scheduler(simulator, cluster, *policy,
+                                 mapreduce::SchedulerConfig{}, Rng(seed));
+  scheduler.submit(bench_job(tasks));
+  simulator.run();
+}
+
+void BM_SchedulerHadoopNS(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    run_one_job(strategies::PolicyKind::kHadoopNS,
+                static_cast<int>(state.range(0)), seed++);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerHadoopNS)->Arg(100);
+
+void BM_SchedulerClone(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    run_one_job(strategies::PolicyKind::kClone,
+                static_cast<int>(state.range(0)), seed++);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerClone)->Arg(100);
+
+void BM_SchedulerSResume(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    run_one_job(strategies::PolicyKind::kSResume,
+                static_cast<int>(state.range(0)), seed++);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerSResume)->Arg(100);
+
+void BM_SchedulerMantri(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    run_one_job(strategies::PolicyKind::kMantri,
+                static_cast<int>(state.range(0)), seed++);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SchedulerMantri)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Cluster simulation: replay a synthetic Google-style trace through the
+// discrete-event MapReduce cluster under any of the six strategies and
+// report the §VII metrics.
+//
+//   ./cluster_sim [strategy] [num_jobs] [theta]
+//   strategy in {hadoop-ns, hadoop-s, mantri, clone, s-restart, s-resume}
+//   e.g. ./cluster_sim s-resume 300 1e-4
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "trace/harness.h"
+#include "trace/planner.h"
+
+namespace {
+
+using namespace chronos;  // NOLINT
+using strategies::PolicyKind;
+
+PolicyKind parse_policy(const std::string& name) {
+  if (name == "hadoop-ns") return PolicyKind::kHadoopNS;
+  if (name == "hadoop-s") return PolicyKind::kHadoopS;
+  if (name == "mantri") return PolicyKind::kMantri;
+  if (name == "clone") return PolicyKind::kClone;
+  if (name == "s-restart") return PolicyKind::kSRestart;
+  if (name == "s-resume") return PolicyKind::kSResume;
+  std::fprintf(stderr,
+               "unknown strategy '%s'; expected hadoop-ns|hadoop-s|mantri|"
+               "clone|s-restart|s-resume\n",
+               name.c_str());
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const PolicyKind policy =
+      argc > 1 ? parse_policy(argv[1]) : PolicyKind::kSResume;
+  const int num_jobs = argc > 2 ? std::atoi(argv[2]) : 300;
+  const double theta = argc > 3 ? std::atof(argv[3]) : 1e-4;
+
+  trace::TraceConfig trace_config;
+  trace_config.num_jobs = num_jobs;
+  trace_config.duration_hours = 10.0;
+  trace_config.mean_tasks = 60.0;
+  trace_config.max_tasks = 600;
+  auto jobs = generate_trace(trace_config);
+
+  trace::PlannerConfig planner;
+  planner.theta = theta;
+  const trace::SpotPriceModel prices;
+  plan_trace(jobs, policy, planner, prices);
+
+  std::printf("Trace: %zu jobs, %lld tasks over %.0f h\n", jobs.size(),
+              static_cast<long long>(trace::total_tasks(jobs)),
+              trace_config.duration_hours);
+
+  const auto config = trace::ExperimentConfig::large_scale(policy);
+  const auto result = run_experiment(jobs, config);
+
+  double mean_r = 0.0;
+  double r_min_sum = 0.0;
+  for (const auto& job : jobs) {
+    core::JobParams params;
+    params.num_tasks = job.spec.num_tasks;
+    params.deadline = job.spec.deadline;
+    params.t_min = job.spec.t_min;
+    params.beta = job.spec.beta;
+    r_min_sum += core::pocd_no_speculation(params);
+  }
+  for (const auto& outcome : result.metrics.outcomes()) {
+    mean_r += static_cast<double>(outcome.r_used);
+  }
+  mean_r /= static_cast<double>(result.metrics.jobs());
+  const double r_min = r_min_sum / static_cast<double>(jobs.size());
+
+  std::printf("\nStrategy: %s (theta = %g)\n", result.policy_name.c_str(),
+              theta);
+  std::printf("  PoCD            : %.4f +- %.4f\n", result.pocd(),
+              result.metrics.pocd_ci());
+  std::printf("  mean cost       : %.1f per job\n", result.mean_cost());
+  std::printf("  mean machine    : %.1f s per job\n",
+              result.metrics.mean_machine_time());
+  std::printf("  net utility     : %.4f (R_min = %.3f)\n",
+              result.utility(theta, r_min), r_min);
+  std::printf("  mean optimal r  : %.2f\n", mean_r);
+  std::printf("  attempts        : %llu launched, %llu killed\n",
+              static_cast<unsigned long long>(
+                  result.metrics.attempts_launched()),
+              static_cast<unsigned long long>(
+                  result.metrics.attempts_killed()));
+  std::printf("  sim events      : %llu\n",
+              static_cast<unsigned long long>(result.events_executed));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// SLA planner: explore the PoCD-vs-cost tradeoff frontier for a job.
+//
+// §V of the paper: for a given target PoCD (from an SLA), pick the strategy
+// and r that achieve it at minimum cost; or, for a budget, find the best
+// attainable PoCD. Uses the chronos::core frontier API.
+//
+//   ./sla_planner [target_pocd] [budget]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/chronos.h"
+
+int main(int argc, char** argv) {
+  using namespace chronos::core;  // NOLINT
+
+  const double target_pocd = argc > 1 ? std::atof(argv[1]) : 0.99;
+  const double budget = argc > 2 ? std::atof(argv[2]) : 8000.0;
+
+  JobParams job;
+  job.num_tasks = 100;
+  job.deadline = 180.0;
+  job.t_min = 30.0;
+  job.beta = 1.5;
+  job.tau_est = 9.0;
+  job.tau_kill = 24.0;
+  job.phi_est = default_phi_est(job);
+
+  const double price = 0.4;
+  const auto points = enumerate_operating_points(job, price, 6);
+
+  std::printf("Operating points (N=%d, D=%.0fs):\n", job.num_tasks,
+              job.deadline);
+  std::printf("%-10s %3s  %8s  %10s\n", "strategy", "r", "PoCD", "cost");
+  for (const auto& point : points) {
+    std::printf("%-10s %3lld  %8.5f  %10.1f\n",
+                to_string(point.strategy).c_str(), point.r, point.pocd,
+                point.cost);
+  }
+
+  std::printf("\nPareto-efficient frontier:\n");
+  for (const auto& point : pareto_frontier(points)) {
+    std::printf("  %-10s r=%lld  PoCD %.5f at cost %.1f\n",
+                to_string(point.strategy).c_str(), point.r, point.pocd,
+                point.cost);
+  }
+
+  std::printf("\nSLA target PoCD >= %.3f: ", target_pocd);
+  if (const auto pick = cheapest_for_target(points, target_pocd)) {
+    std::printf("%s with r = %lld (PoCD %.5f at cost %.1f)\n",
+                to_string(pick->strategy).c_str(), pick->r, pick->pocd,
+                pick->cost);
+  } else {
+    std::printf("not attainable with r <= 6\n");
+  }
+
+  std::printf("Budget %.1f: ", budget);
+  if (const auto pick = best_within_budget(points, budget)) {
+    std::printf("%s with r = %lld (PoCD %.5f at cost %.1f)\n",
+                to_string(pick->strategy).c_str(), pick->r, pick->pocd,
+                pick->cost);
+  } else {
+    std::printf("no configuration fits\n");
+  }
+  return 0;
+}

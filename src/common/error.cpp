@@ -1,0 +1,32 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace chronos::detail {
+
+namespace {
+
+std::string format(const char* kind, const char* expr, const std::string& msg,
+                   std::source_location loc) {
+  std::ostringstream os;
+  os << kind << " violated: (" << expr << ") at " << loc.file_name() << ':'
+     << loc.line() << " in " << loc.function_name();
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void throw_precondition(const char* expr, const std::string& msg,
+                        std::source_location loc) {
+  throw PreconditionError(format("precondition", expr, msg, loc));
+}
+
+void throw_invariant(const char* expr, const std::string& msg,
+                     std::source_location loc) {
+  throw InvariantError(format("invariant", expr, msg, loc));
+}
+
+}  // namespace chronos::detail

@@ -1,0 +1,53 @@
+// Error-handling primitives shared by all Chronos modules.
+//
+// Follows the C++ Core Guidelines: preconditions are checked with an
+// expectation macro that throws (so tests can observe violations), and
+// invariant breakage inside the library is reported with rich context.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace chronos {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] void throw_precondition(const char* expr, const std::string& msg,
+                                     std::source_location loc);
+[[noreturn]] void throw_invariant(const char* expr, const std::string& msg,
+                                  std::source_location loc);
+
+}  // namespace detail
+
+}  // namespace chronos
+
+/// Validate a documented precondition of a public entry point.
+#define CHRONOS_EXPECTS(cond, msg)                                    \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::chronos::detail::throw_precondition(                          \
+          #cond, (msg), std::source_location::current());             \
+    }                                                                 \
+  } while (false)
+
+/// Validate an internal invariant; failure indicates a bug in Chronos.
+#define CHRONOS_ENSURES(cond, msg)                                    \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::chronos::detail::throw_invariant(                             \
+          #cond, (msg), std::source_location::current());             \
+    }                                                                 \
+  } while (false)

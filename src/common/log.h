@@ -1,0 +1,48 @@
+// Minimal leveled logger. Simulation and bench binaries log progress at
+// Info; tests run with the logger silenced.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace chronos::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_level(Level level);
+
+/// Current global minimum level.
+Level level();
+
+/// Emits one line at `level` (thread-safe, single write to stderr).
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+class LineStream {
+ public:
+  explicit LineStream(Level level) : level_(level) {}
+  LineStream(const LineStream&) = delete;
+  LineStream& operator=(const LineStream&) = delete;
+  ~LineStream() { write(level_, os_.str()); }
+
+  template <typename T>
+  LineStream& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace chronos::log
+
+#define CHRONOS_LOG(lvl)                                      \
+  if (::chronos::log::Level::lvl < ::chronos::log::level()) { \
+  } else                                                      \
+    ::chronos::log::detail::LineStream(::chronos::log::Level::lvl)

@@ -1,0 +1,147 @@
+#include "common/numeric.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chronos::numeric {
+
+namespace {
+
+struct SimpsonEstimate {
+  double value = 0.0;
+  double fa = 0.0;
+  double fm = 0.0;
+  double fb = 0.0;
+};
+
+SimpsonEstimate simpson(double a, double b, double fa, double fm, double fb) {
+  SimpsonEstimate est;
+  est.fa = fa;
+  est.fm = fm;
+  est.fb = fb;
+  est.value = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+  return est;
+}
+
+double adaptive(const std::function<double(double)>& f, double a, double b,
+                double fa, double fm, double fb, double whole, double tol,
+                int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+  const double right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+  const double delta = left + right - whole;
+  // 15 = (4^2 - 1): classic Richardson error factor for Simpson's rule.
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol) {
+    return left + right + delta / 15.0;
+  }
+  return adaptive(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1) +
+         adaptive(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1);
+}
+
+}  // namespace
+
+double integrate(const std::function<double(double)>& f, double a, double b,
+                 double tol) {
+  CHRONOS_EXPECTS(a <= b, "integration interval must satisfy a <= b");
+  if (a == b) {
+    return 0.0;
+  }
+  const double fa = f(a);
+  const double m = 0.5 * (a + b);
+  const double fm = f(m);
+  const double fb = f(b);
+  const auto whole = simpson(a, b, fa, fm, fb);
+  return adaptive(f, a, b, fa, fm, fb, whole.value, tol, 52);
+}
+
+double integrate_to_infinity(const std::function<double(double)>& f, double a,
+                             double tol) {
+  // Substitute x = a + t/(1-t), dx = dt/(1-t)^2, mapping [a, inf) to [0, 1).
+  const auto g = [&f, a](double t) {
+    const double one_minus = 1.0 - t;
+    if (one_minus <= 0.0) {
+      return 0.0;  // integrand must vanish at infinity for convergence
+    }
+    const double x = a + t / one_minus;
+    return f(x) / (one_minus * one_minus);
+  };
+  // Stop just short of t = 1; the decay requirement makes the remainder
+  // negligible relative to tol.
+  return integrate(g, 0.0, 1.0 - 1e-12, tol);
+}
+
+double derivative(const std::function<double(double)>& f, double x, double h) {
+  CHRONOS_EXPECTS(h > 0.0, "derivative step must be positive");
+  return (f(x + h) - f(x - h)) / (2.0 * h);
+}
+
+double second_derivative(const std::function<double(double)>& f, double x,
+                         double h) {
+  CHRONOS_EXPECTS(h > 0.0, "second_derivative step must be positive");
+  return (f(x + h) - 2.0 * f(x) + f(x - h)) / (h * h);
+}
+
+double golden_section_max(const std::function<double(double)>& f, double lo,
+                          double hi, double tol) {
+  CHRONOS_EXPECTS(lo <= hi, "golden_section_max requires lo <= hi");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tol) {
+    if (fc >= fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+long long ternary_search_max_int(const std::function<double(long long)>& f,
+                                 long long lo, long long hi) {
+  CHRONOS_EXPECTS(lo <= hi, "ternary_search_max_int requires lo <= hi");
+  while (hi - lo > 2) {
+    const long long m1 = lo + (hi - lo) / 3;
+    const long long m2 = hi - (hi - lo) / 3;
+    if (f(m1) < f(m2)) {
+      lo = m1 + 1;
+    } else {
+      hi = m2 - 1;
+    }
+  }
+  long long best = lo;
+  double best_value = f(lo);
+  for (long long x = lo + 1; x <= hi; ++x) {
+    const double v = f(x);
+    if (v > best_value) {
+      best_value = v;
+      best = x;
+    }
+  }
+  return best;
+}
+
+bool approx_equal(double a, double b, double tol) {
+  return std::abs(a - b) <=
+         tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace chronos::numeric

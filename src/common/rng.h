@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// A self-contained xoshiro256++ generator is used instead of std::mt19937 so
+// that streams are (a) fast, (b) reproducible across standard libraries, and
+// (c) cheaply splittable into independent sub-streams (one per node / job),
+// which discrete-event simulations need to keep runs comparable when the
+// event interleaving changes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace chronos {
+
+/// xoshiro256++ PRNG (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Standard normal variate (Box–Muller, one value per call).
+  double normal();
+
+  /// Normal variate with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  /// Pareto(t_min, beta) variate via inverse CDF. Requires t_min > 0, beta > 0.
+  double pareto(double t_min, double beta);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Returns a generator seeded from this stream, statistically independent
+  /// for simulation purposes (long jump-free split via fresh splitmix chain).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace chronos

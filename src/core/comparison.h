@@ -1,0 +1,35 @@
+// Strategy PoCD comparisons — Theorem 7.
+//
+// For the same number of extra attempts r:
+//   1. R_Clone > R_S-Restart (always),
+//   2. R_S-Resume > R_S-Restart (whenever D - tau_est >= (1-phi) t_min),
+//   3. R_Clone > R_S-Resume iff r exceeds a closed-form threshold.
+#pragma once
+
+#include "core/model.h"
+
+namespace chronos::core {
+
+/// Failure-probability ratio (1 - R_Clone)^{1/N} / (1 - R_S-Restart)^{1/N}
+/// = ((D - tau_est)/D)^{beta r}  (Eq. 57). Values < 1 mean Clone wins.
+double clone_vs_restart_ratio(const JobParams& params, double r);
+
+/// Failure-probability ratio (1 - R_S-Restart)^{1/N} /
+/// (1 - R_S-Resume)^{1/N}  (Eq. 58). Values > 1 mean S-Resume wins.
+double restart_vs_resume_ratio(const JobParams& params, double r);
+
+/// Failure-probability ratio (1 - R_Clone)^{1/N} / (1 - R_S-Resume)^{1/N}
+/// (Eq. 59). Values < 1 mean Clone wins.
+double clone_vs_resume_ratio(const JobParams& params, double r);
+
+/// The r threshold of Theorem 7(3): Clone beats S-Resume iff
+/// r > clone_beats_resume_threshold(params). Note: the paper's printed
+/// Eq. 60 carries stray beta exponents; this implements the form derived
+/// from Eq. 59, validated against the direct PoCD ordering. Returns
+/// +infinity when D - tau_est >= (1 - phi) D (Clone can never win).
+double clone_beats_resume_threshold(const JobParams& params);
+
+/// Theorem 7(3) as a predicate.
+bool clone_beats_resume(const JobParams& params, double r);
+
+}  // namespace chronos::core

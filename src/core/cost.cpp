@@ -1,0 +1,155 @@
+#include "core/cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/numeric.h"
+#include "stats/pareto.h"
+
+namespace chronos::core {
+
+namespace {
+
+void check(const JobParams& params, double r) {
+  params.validate();
+  CHRONOS_EXPECTS(r >= 0.0, "number of extra attempts r must be >= 0");
+}
+
+/// P(T_1 > D) for the original attempt.
+double straggler_probability(const JobParams& params) {
+  return std::pow(params.t_min / params.deadline, params.beta);
+}
+
+}  // namespace
+
+double expected_time_below_deadline(const JobParams& params) {
+  const stats::Pareto attempt(params.t_min, params.beta);
+  return attempt.truncated_mean_below(params.deadline);
+}
+
+double machine_time_clone(const JobParams& params, double r) {
+  check(params, r);
+  const double n_eff = params.beta * (r + 1.0);
+  CHRONOS_EXPECTS(n_eff > 1.0,
+                  "machine_time_clone requires beta * (r + 1) > 1");
+  // r attempts are charged until tau_kill; the winner is the min of r+1
+  // Pareto variates (Lemma 1).
+  const double winner = params.t_min + params.t_min / (n_eff - 1.0);
+  return static_cast<double>(params.num_tasks) *
+         (r * params.tau_kill + winner);
+}
+
+double s_restart_winner_time(const JobParams& params, double r) {
+  check(params, r);
+  const double d_bar = params.deadline - params.tau_est;
+  const double beta = params.beta;
+  const double t_min = params.t_min;
+  // W_hat = min(T_hat_1 - tau_est, T_2, ..., T_{r+1}) where
+  // T_hat_1 ~ Pareto(D, beta) (original conditioned on missing the deadline,
+  // Lemma 3) and the r restarted attempts are fresh Pareto(t_min, beta).
+  //
+  // E(W_hat) = int_0^inf  S_orig(w) * S_fresh(w)^r  dw with
+  //   S_orig(w)  = 1 for w < D - tau_est, else (D / (w + tau_est))^beta
+  //   S_fresh(w) = 1 for w < t_min,       else (t_min / w)^beta.
+  // Integrating the piecewise product numerically avoids the removable
+  // singularities of the published closed form at beta * r == 1.
+  const auto survival_product = [&](double w) {
+    double s = 1.0;
+    if (w >= d_bar) {
+      s *= std::pow(params.deadline / (w + params.tau_est), beta);
+    }
+    if (r > 0.0 && w >= t_min) {
+      s *= std::pow(t_min / w, beta * r);
+    }
+    return s;
+  };
+  const double knee1 = std::min(t_min, d_bar);
+  const double knee2 = std::max(t_min, d_bar);
+  double total = knee1;  // survival product is exactly 1 below the first knee
+  total += numeric::integrate(survival_product, knee1, knee2);
+  total += numeric::integrate_to_infinity(survival_product, knee2);
+  return total;
+}
+
+double machine_time_s_restart(const JobParams& params, double r) {
+  check(params, r);
+  CHRONOS_EXPECTS(params.beta > 1.0,
+                  "machine_time_s_restart requires beta > 1");
+  const double p_straggle = straggler_probability(params);
+  const double below = expected_time_below_deadline(params);
+  double above = 0.0;
+  if (r == 0.0) {
+    // No extra attempts: the straggler simply runs to completion.
+    const stats::Pareto attempt(params.t_min, params.beta);
+    above = attempt.truncated_mean_above(params.deadline);
+  } else {
+    above = params.tau_est + r * (params.tau_kill - params.tau_est) +
+            s_restart_winner_time(params, r);
+  }
+  return static_cast<double>(params.num_tasks) *
+         (below * (1.0 - p_straggle) + above * p_straggle);
+}
+
+namespace {
+
+double s_resume_total(const JobParams& params, double r, double winner) {
+  const double p_straggle = straggler_probability(params);
+  const double below = expected_time_below_deadline(params);
+  const double above = params.tau_est +
+                       r * (params.tau_kill - params.tau_est) + winner;
+  return static_cast<double>(params.num_tasks) *
+         (below * (1.0 - p_straggle) + above * p_straggle);
+}
+
+}  // namespace
+
+double machine_time_s_resume(const JobParams& params, double r) {
+  check(params, r);
+  CHRONOS_EXPECTS(params.beta > 1.0, "machine_time_s_resume requires beta > 1");
+  const double n_eff = params.beta * (r + 1.0);
+  CHRONOS_EXPECTS(n_eff > 1.0,
+                  "machine_time_s_resume requires beta * (r + 1) > 1");
+  // Published Eq. 56: E(W_new) = t_min (1-phi)^{beta(r+1)} / (beta(r+1)-1)
+  //                             + t_min.
+  const double winner =
+      params.t_min * std::pow(1.0 - params.phi_est, n_eff) / (n_eff - 1.0) +
+      params.t_min;
+  return s_resume_total(params, r, winner);
+}
+
+double machine_time_s_resume_exact(const JobParams& params, double r) {
+  check(params, r);
+  CHRONOS_EXPECTS(params.beta > 1.0,
+                  "machine_time_s_resume_exact requires beta > 1");
+  const double n_eff = params.beta * (r + 1.0);
+  CHRONOS_EXPECTS(n_eff > 1.0,
+                  "machine_time_s_resume_exact requires beta * (r + 1) > 1");
+  // min of r+1 copies of (1-phi) T is Pareto((1-phi) t_min, beta (r+1)),
+  // whose mean is the Lemma-1 expression below.
+  const double winner =
+      (1.0 - params.phi_est) * params.t_min * n_eff / (n_eff - 1.0);
+  return s_resume_total(params, r, winner);
+}
+
+double machine_time(Strategy strategy, const JobParams& params, double r) {
+  switch (strategy) {
+    case Strategy::kClone:
+      return machine_time_clone(params, r);
+    case Strategy::kSpeculativeRestart:
+      return machine_time_s_restart(params, r);
+    case Strategy::kSpeculativeResume:
+      return machine_time_s_resume(params, r);
+  }
+  CHRONOS_ENSURES(false, "unknown strategy");
+}
+
+double machine_time_no_speculation(const JobParams& params) {
+  params.validate();
+  CHRONOS_EXPECTS(params.beta > 1.0,
+                  "machine_time_no_speculation requires beta > 1");
+  const stats::Pareto attempt(params.t_min, params.beta);
+  return static_cast<double>(params.num_tasks) * attempt.mean();
+}
+
+}  // namespace chronos::core

@@ -1,0 +1,49 @@
+// Expected machine running time E(T) of a job — Theorems 2, 4 and 6.
+//
+// The paper measures execution cost as C * E(T), where E(T) is the total
+// (virtual) machine time consumed by all attempts of all N tasks, including
+// the speculative attempts that are killed at tau_kill.
+//
+// S-Resume note: the paper's closed form (Theorem 6, Eq. 56) integrates the
+// survival of the resumed attempts from t_min even though their support
+// starts at (1 - phi) t_min, which makes the published expression a slight
+// upper bound on the exact expectation. Both are provided; benches use the
+// paper's form, tests validate the exact one against Monte-Carlo.
+#pragma once
+
+#include "core/model.h"
+
+namespace chronos::core {
+
+/// Theorem 2:  E_Clone(T) = N [ r tau_kill + t_min + t_min/(beta(r+1) - 1) ].
+/// Requires beta * (r + 1) > 1 (otherwise the expectation diverges).
+double machine_time_clone(const JobParams& params, double r);
+
+/// Theorem 4 (with the tail term evaluated by adaptive quadrature).
+/// Requires beta > 1 for the no-straggler branch to have finite mean.
+double machine_time_s_restart(const JobParams& params, double r);
+
+/// Theorem 6, published closed form (slight upper bound; see header note).
+/// Requires beta > 1 and beta * (r + 1) > 1.
+double machine_time_s_resume(const JobParams& params, double r);
+
+/// Exact S-Resume expectation using the true support (1-phi) t_min of the
+/// resumed attempts: E(W_new) = (1-phi) t_min beta(r+1) / (beta(r+1) - 1).
+double machine_time_s_resume_exact(const JobParams& params, double r);
+
+/// Dispatch on `strategy` (paper formulas).
+double machine_time(Strategy strategy, const JobParams& params, double r);
+
+/// Machine time with no speculation: N * E[T] = N * t_min * beta/(beta - 1).
+/// Requires beta > 1.
+double machine_time_no_speculation(const JobParams& params);
+
+/// E[T_j | T_j,1 <= D]: truncated-Pareto mean below the deadline — the
+/// no-straggler branch shared by Theorems 4 and 6.
+double expected_time_below_deadline(const JobParams& params);
+
+/// E(W_hat_all) of Theorem 4 / Eq. 45: expected remaining running time, from
+/// tau_est, of the fastest among {original | T1 > D, r restarted attempts}.
+double s_restart_winner_time(const JobParams& params, double r);
+
+}  // namespace chronos::core

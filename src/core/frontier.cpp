@@ -1,0 +1,83 @@
+#include "core/frontier.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/cost.h"
+#include "core/pocd.h"
+
+namespace chronos::core {
+
+std::vector<FrontierPoint> enumerate_operating_points(
+    const JobParams& params, double price, long long max_r) {
+  params.validate();
+  CHRONOS_EXPECTS(price >= 0.0, "price must be non-negative");
+  CHRONOS_EXPECTS(max_r >= 0, "max_r must be >= 0");
+  std::vector<FrontierPoint> points;
+  points.reserve(static_cast<std::size_t>(3 * (max_r + 1)));
+  for (const Strategy strategy :
+       {Strategy::kClone, Strategy::kSpeculativeRestart,
+        Strategy::kSpeculativeResume}) {
+    for (long long r = 0; r <= max_r; ++r) {
+      FrontierPoint point;
+      point.strategy = strategy;
+      point.r = r;
+      point.pocd = pocd(strategy, params, static_cast<double>(r));
+      point.cost =
+          price * machine_time(strategy, params, static_cast<double>(r));
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+std::vector<FrontierPoint> pareto_frontier(
+    std::vector<FrontierPoint> points) {
+  // Sort by cost ascending, PoCD descending on ties; then sweep keeping
+  // points that strictly improve the best PoCD seen so far.
+  std::sort(points.begin(), points.end(),
+            [](const FrontierPoint& a, const FrontierPoint& b) {
+              if (a.cost != b.cost) {
+                return a.cost < b.cost;
+              }
+              return a.pocd > b.pocd;
+            });
+  std::vector<FrontierPoint> frontier;
+  double best_pocd = -1.0;
+  for (const auto& point : points) {
+    if (point.pocd > best_pocd) {
+      frontier.push_back(point);
+      best_pocd = point.pocd;
+    }
+  }
+  return frontier;
+}
+
+std::optional<FrontierPoint> cheapest_for_target(
+    const std::vector<FrontierPoint>& points, double target_pocd) {
+  CHRONOS_EXPECTS(target_pocd >= 0.0 && target_pocd <= 1.0,
+                  "target PoCD must lie in [0, 1]");
+  std::optional<FrontierPoint> best;
+  for (const auto& point : points) {
+    if (point.pocd >= target_pocd &&
+        (!best.has_value() || point.cost < best->cost)) {
+      best = point;
+    }
+  }
+  return best;
+}
+
+std::optional<FrontierPoint> best_within_budget(
+    const std::vector<FrontierPoint>& points, double budget) {
+  CHRONOS_EXPECTS(budget >= 0.0, "budget must be non-negative");
+  std::optional<FrontierPoint> best;
+  for (const auto& point : points) {
+    if (point.cost <= budget &&
+        (!best.has_value() || point.pocd > best->pocd)) {
+      best = point;
+    }
+  }
+  return best;
+}
+
+}  // namespace chronos::core

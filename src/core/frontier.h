@@ -1,0 +1,48 @@
+// PoCD-vs-cost tradeoff frontier (§V).
+//
+// "The optimal tradeoff frontier ... can be employed to determine user's
+// budget for desired PoCD performance, and vice versa. For a given target
+// PoCD (e.g., as specified in the SLAs), users can select the corresponding
+// scheduling strategy and optimize its parameters."
+//
+// This module enumerates the (strategy, r) operating points of a job,
+// reduces them to the Pareto-efficient frontier, and answers the two §V
+// queries: cheapest point meeting a PoCD target, and best PoCD within a
+// cost budget.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/model.h"
+
+namespace chronos::core {
+
+struct FrontierPoint {
+  Strategy strategy = Strategy::kClone;
+  long long r = 0;
+  double pocd = 0.0;
+  double cost = 0.0;  ///< price * E(T)
+};
+
+/// Enumerates all (strategy, r) points for r in [0, max_r] across the three
+/// strategies. Requires valid params and price >= 0.
+std::vector<FrontierPoint> enumerate_operating_points(
+    const JobParams& params, double price, long long max_r = 16);
+
+/// Filters `points` down to the Pareto-efficient set (no other point has
+/// both higher-or-equal PoCD and lower-or-equal cost, with at least one
+/// strict), sorted by increasing cost.
+std::vector<FrontierPoint> pareto_frontier(std::vector<FrontierPoint> points);
+
+/// Cheapest operating point with pocd >= target, or nullopt if the target
+/// is unattainable within the enumerated set.
+std::optional<FrontierPoint> cheapest_for_target(
+    const std::vector<FrontierPoint>& points, double target_pocd);
+
+/// Highest-PoCD operating point with cost <= budget, or nullopt if nothing
+/// fits.
+std::optional<FrontierPoint> best_within_budget(
+    const std::vector<FrontierPoint>& points, double budget);
+
+}  // namespace chronos::core

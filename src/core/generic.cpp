@@ -1,0 +1,254 @@
+#include "core/generic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/numeric.h"
+#include "core/montecarlo.h"
+#include "core/utility.h"
+#include "stats/summary.h"
+
+namespace chronos::core {
+
+namespace {
+
+/// E[min(T_1..T_n)] = lower + int_lower^inf S(t)^n dt.
+double expected_min(const stats::Distribution& dist, double n) {
+  const double lower = dist.lower_bound();
+  return lower + numeric::integrate_to_infinity(
+                     [&](double t) { return std::pow(dist.survival(t), n); },
+                     lower, 1e-9);
+}
+
+/// E[T 1{T <= d}] = int_0^d S(t) dt - d S(d).
+double partial_mean_below(const stats::Distribution& dist, double d) {
+  const double lower = dist.lower_bound();
+  const double integral =
+      lower + numeric::integrate(
+                  [&](double t) { return dist.survival(t); }, lower, d, 1e-9);
+  return integral - d * dist.survival(d);
+}
+
+}  // namespace
+
+void GenericJobParams::validate(const stats::Distribution& dist) const {
+  CHRONOS_EXPECTS(num_tasks >= 1, "num_tasks must be >= 1");
+  CHRONOS_EXPECTS(deadline > dist.lower_bound(),
+                  "deadline must exceed the distribution's lower bound");
+  CHRONOS_EXPECTS(tau_est >= 0.0 && tau_est < deadline,
+                  "tau_est must lie in [0, deadline)");
+  CHRONOS_EXPECTS(tau_kill >= tau_est, "tau_kill must be >= tau_est");
+  CHRONOS_EXPECTS(phi_est >= 0.0 && phi_est < 1.0,
+                  "phi_est must lie in [0, 1)");
+  CHRONOS_EXPECTS(deadline - tau_est >= dist.lower_bound(),
+                  "deadline - tau_est must be >= the lower bound");
+}
+
+double generic_pocd(Strategy strategy, const GenericJobParams& params,
+                    const stats::Distribution& dist, double r) {
+  params.validate(dist);
+  CHRONOS_EXPECTS(r >= 0.0, "r must be >= 0");
+  const double s_d = dist.survival(params.deadline);
+  const double d_bar = params.deadline - params.tau_est;
+  double task_fail = 0.0;
+  switch (strategy) {
+    case Strategy::kClone:
+      task_fail = std::pow(s_d, r + 1.0);
+      break;
+    case Strategy::kSpeculativeRestart:
+      task_fail = s_d * std::pow(dist.survival(d_bar), r);
+      break;
+    case Strategy::kSpeculativeResume: {
+      // A resumed attempt misses iff (1-phi) T > D - tau_est.
+      const double s_resume =
+          dist.survival(d_bar / (1.0 - params.phi_est));
+      task_fail = s_d * std::pow(s_resume, r + 1.0);
+      break;
+    }
+  }
+  return std::pow(1.0 - task_fail,
+                  static_cast<double>(params.num_tasks));
+}
+
+double generic_machine_time(Strategy strategy,
+                            const GenericJobParams& params,
+                            const stats::Distribution& dist, double r) {
+  params.validate(dist);
+  CHRONOS_EXPECTS(r >= 0.0, "r must be >= 0");
+  const double n = static_cast<double>(params.num_tasks);
+  const double d = params.deadline;
+  const double d_bar = d - params.tau_est;
+  const double s_d = dist.survival(d);
+  const double lower = dist.lower_bound();
+
+  if (strategy == Strategy::kClone) {
+    return n * (r * params.tau_kill + expected_min(dist, r + 1.0));
+  }
+
+  const double below = partial_mean_below(dist, d) / (1.0 - s_d);
+  double above = 0.0;
+  switch (strategy) {
+    case Strategy::kSpeculativeRestart: {
+      if (r == 0.0) {
+        above = (dist.mean() - partial_mean_below(dist, d)) / s_d;
+        break;
+      }
+      // W = min(T_hat - tau_est, T_1..T_r) with T_hat the original
+      // conditioned on T > D: survival S(w + tau_est)/S(D) beyond D - tau.
+      const auto survival_product = [&](double w) {
+        double s = 1.0;
+        if (w >= d_bar) {
+          s *= dist.survival(w + params.tau_est) / s_d;
+        }
+        if (w >= lower) {
+          s *= std::pow(dist.survival(w), r);
+        }
+        return s;
+      };
+      const double knee1 = std::min(lower, d_bar);
+      const double knee2 = std::max(lower, d_bar);
+      double winner = knee1;
+      winner += numeric::integrate(survival_product, knee1, knee2, 1e-9);
+      winner += numeric::integrate_to_infinity(survival_product, knee2, 1e-9);
+      above = params.tau_est + r * (params.tau_kill - params.tau_est) +
+              winner;
+      break;
+    }
+    case Strategy::kSpeculativeResume: {
+      // min of r+1 copies of (1-phi) T scales linearly.
+      const double winner =
+          (1.0 - params.phi_est) * expected_min(dist, r + 1.0);
+      above = params.tau_est + r * (params.tau_kill - params.tau_est) +
+              winner;
+      break;
+    }
+    case Strategy::kClone:
+      CHRONOS_ENSURES(false, "handled above");
+  }
+  return n * (below * (1.0 - s_d) + above * s_d);
+}
+
+double generic_utility(Strategy strategy, const GenericJobParams& params,
+                       const stats::Distribution& dist,
+                       const Economics& econ, long long r) {
+  econ.validate();
+  const double pocd =
+      generic_pocd(strategy, params, dist, static_cast<double>(r));
+  const double machine =
+      generic_machine_time(strategy, params, dist, static_cast<double>(r));
+  return utility_shaping(pocd - econ.r_min) -
+         econ.theta * econ.price * machine;
+}
+
+GenericOptimum generic_optimize(Strategy strategy,
+                                const GenericJobParams& params,
+                                const stats::Distribution& dist,
+                                const Economics& econ, long long max_r) {
+  CHRONOS_EXPECTS(max_r >= 0, "max_r must be >= 0");
+  GenericOptimum best;
+  best.utility = -std::numeric_limits<double>::infinity();
+  for (long long r = 0; r <= max_r; ++r) {
+    const double u = generic_utility(strategy, params, dist, econ, r);
+    if (r == 0 || u > best.utility) {
+      best.r_opt = r;
+      best.utility = u;
+      best.pocd = generic_pocd(strategy, params, dist,
+                               static_cast<double>(r));
+      best.machine_time = generic_machine_time(strategy, params, dist,
+                                               static_cast<double>(r));
+    }
+  }
+  best.feasible = std::isfinite(best.utility);
+  if (!best.feasible) {
+    best.r_opt = 0;
+  }
+  return best;
+}
+
+MonteCarloResult generic_monte_carlo(Strategy strategy,
+                                     const GenericJobParams& params,
+                                     const stats::Distribution& dist,
+                                     long long r, std::uint64_t jobs,
+                                     Rng& rng) {
+  params.validate(dist);
+  CHRONOS_EXPECTS(r >= 0, "r must be >= 0");
+  CHRONOS_EXPECTS(jobs > 0, "at least one simulated job is required");
+
+  std::uint64_t met = 0;
+  stats::RunningStats times;
+  const double d = params.deadline;
+  const double d_bar = d - params.tau_est;
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    bool job_met = true;
+    double job_time = 0.0;
+    for (int t = 0; t < params.num_tasks; ++t) {
+      double machine = 0.0;
+      bool task_met = false;
+      switch (strategy) {
+        case Strategy::kClone: {
+          double winner = dist.sample(rng);
+          for (long long k = 0; k < r; ++k) {
+            winner = std::min(winner, dist.sample(rng));
+          }
+          task_met = winner <= d;
+          machine = static_cast<double>(r) * params.tau_kill + winner;
+          break;
+        }
+        case Strategy::kSpeculativeRestart: {
+          const double original = dist.sample(rng);
+          if (original <= d || r == 0) {
+            task_met = original <= d;
+            machine = original;
+            break;
+          }
+          double winner = original - params.tau_est;
+          for (long long k = 0; k < r; ++k) {
+            winner = std::min(winner, dist.sample(rng));
+          }
+          task_met = winner <= d_bar;
+          machine = params.tau_est +
+                    static_cast<double>(r) *
+                        (params.tau_kill - params.tau_est) +
+                    winner;
+          break;
+        }
+        case Strategy::kSpeculativeResume: {
+          const double original = dist.sample(rng);
+          if (original <= d) {
+            task_met = true;
+            machine = original;
+            break;
+          }
+          const double remaining = 1.0 - params.phi_est;
+          double winner = remaining * dist.sample(rng);
+          for (long long k = 0; k < r; ++k) {
+            winner = std::min(winner, remaining * dist.sample(rng));
+          }
+          task_met = winner <= d_bar;
+          machine = params.tau_est +
+                    static_cast<double>(r) *
+                        (params.tau_kill - params.tau_est) +
+                    winner;
+          break;
+        }
+      }
+      job_met = job_met && task_met;
+      job_time += machine;
+    }
+    met += job_met ? 1 : 0;
+    times.add(job_time);
+  }
+
+  MonteCarloResult result;
+  result.jobs = jobs;
+  result.pocd = static_cast<double>(met) / static_cast<double>(jobs);
+  result.pocd_ci = stats::proportion_ci_halfwidth(met, jobs);
+  result.machine_time = times.mean();
+  result.machine_time_sem =
+      times.stddev() / std::sqrt(static_cast<double>(jobs));
+  return result;
+}
+
+}  // namespace chronos::core

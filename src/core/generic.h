@@ -1,0 +1,74 @@
+// Distribution-generic PoCD and machine-time analysis.
+//
+// §IV: "our analysis of PoCD and cost (including proof techniques of
+// Theorems 1-6) actually works with other distributions as well". This
+// module generalizes the three strategies' PoCD and expected machine time
+// to an arbitrary task-duration Distribution, using numeric quadrature for
+// the expectations the Pareto case solves in closed form.
+//
+// With a ParetoDistribution these functions agree with the closed forms in
+// core/pocd.h and core/cost.h (verified by tests/test_generic.cpp); the
+// S-Resume machine time matches machine_time_s_resume_exact (the corrected
+// form, not the paper's Eq. 56 upper bound).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/model.h"
+#include "core/montecarlo.h"
+#include "stats/distribution.h"
+
+namespace chronos::core {
+
+/// Job description for the generic analysis: same timers/geometry as
+/// JobParams, with the duration law abstracted.
+struct GenericJobParams {
+  int num_tasks = 1;
+  double deadline = 0.0;
+  double tau_est = 0.0;
+  double tau_kill = 0.0;
+  double phi_est = 0.0;
+
+  void validate(const stats::Distribution& dist) const;
+};
+
+/// PoCD under the given strategy and duration distribution (generalizes
+/// Theorems 1, 3, 5). Requires r >= 0.
+double generic_pocd(Strategy strategy, const GenericJobParams& params,
+                    const stats::Distribution& dist, double r);
+
+/// Expected machine time (generalizes Theorems 2, 4, 6 — the S-Resume
+/// branch uses the exact winner expectation). Requires a finite mean.
+double generic_machine_time(Strategy strategy, const GenericJobParams& params,
+                            const stats::Distribution& dist, double r);
+
+/// Net utility at integer r (same shaping as evaluate_utility).
+double generic_utility(Strategy strategy, const GenericJobParams& params,
+                       const stats::Distribution& dist,
+                       const Economics& econ, long long r);
+
+/// Brute-force optimizer over r in [0, max_r]: no concavity structure is
+/// assumed for arbitrary distributions. Returns the utility-maximizing r
+/// (feasibility mirrors OptimizationResult).
+struct GenericOptimum {
+  long long r_opt = 0;
+  double pocd = 0.0;
+  double machine_time = 0.0;
+  double utility = 0.0;
+  bool feasible = false;
+};
+GenericOptimum generic_optimize(Strategy strategy,
+                                const GenericJobParams& params,
+                                const stats::Distribution& dist,
+                                const Economics& econ, long long max_r = 64);
+
+/// Monte-Carlo estimate under the generic model semantics (mirrors
+/// core/montecarlo.h for arbitrary distributions).
+MonteCarloResult generic_monte_carlo(Strategy strategy,
+                                     const GenericJobParams& params,
+                                     const stats::Distribution& dist,
+                                     long long r, std::uint64_t jobs,
+                                     Rng& rng);
+
+}  // namespace chronos::core

@@ -1,0 +1,147 @@
+#include "core/montecarlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "stats/summary.h"
+
+namespace chronos::core {
+
+namespace {
+
+struct TaskOutcome {
+  bool met_deadline = false;
+  double machine_time = 0.0;
+};
+
+TaskOutcome simulate_clone(const JobParams& p, long long r, Rng& rng) {
+  // r+1 attempts run from t = 0; losers are killed at tau_kill.
+  double winner = rng.pareto(p.t_min, p.beta);
+  for (long long k = 0; k < r; ++k) {
+    winner = std::min(winner, rng.pareto(p.t_min, p.beta));
+  }
+  TaskOutcome out;
+  out.met_deadline = winner <= p.deadline;
+  out.machine_time = static_cast<double>(r) * p.tau_kill + winner;
+  return out;
+}
+
+TaskOutcome simulate_s_restart(const JobParams& p, long long r, Rng& rng) {
+  const double original = rng.pareto(p.t_min, p.beta);
+  TaskOutcome out;
+  if (original <= p.deadline || r == 0) {
+    out.met_deadline = original <= p.deadline;
+    out.machine_time = original;
+    return out;
+  }
+  // Straggler: r fresh attempts start at tau_est; original keeps running.
+  // Remaining time of the winner, measured from tau_est:
+  double winner = original - p.tau_est;
+  for (long long k = 0; k < r; ++k) {
+    winner = std::min(winner, rng.pareto(p.t_min, p.beta));
+  }
+  out.met_deadline = winner <= p.deadline - p.tau_est;
+  // Machine time: original up to tau_est, r losers charged until tau_kill,
+  // winner runs from tau_est to completion (Theorem 4 decomposition).
+  out.machine_time = p.tau_est +
+                     static_cast<double>(r) * (p.tau_kill - p.tau_est) +
+                     winner;
+  return out;
+}
+
+TaskOutcome simulate_s_resume(const JobParams& p, long long r, Rng& rng) {
+  const double original = rng.pareto(p.t_min, p.beta);
+  TaskOutcome out;
+  if (original <= p.deadline) {
+    out.met_deadline = true;
+    out.machine_time = original;
+    return out;
+  }
+  // Straggler: the original is killed at tau_est; r+1 fresh attempts resume
+  // from progress phi_est, i.e. each needs (1 - phi_est) of a full duration.
+  const double remaining_fraction = 1.0 - p.phi_est;
+  double winner = remaining_fraction * rng.pareto(p.t_min, p.beta);
+  for (long long k = 0; k < r; ++k) {
+    winner = std::min(winner, remaining_fraction * rng.pareto(p.t_min, p.beta));
+  }
+  out.met_deadline = winner <= p.deadline - p.tau_est;
+  out.machine_time = p.tau_est +
+                     static_cast<double>(r) * (p.tau_kill - p.tau_est) +
+                     winner;
+  return out;
+}
+
+TaskOutcome simulate_task(Strategy strategy, const JobParams& p, long long r,
+                          Rng& rng) {
+  switch (strategy) {
+    case Strategy::kClone:
+      return simulate_clone(p, r, rng);
+    case Strategy::kSpeculativeRestart:
+      return simulate_s_restart(p, r, rng);
+    case Strategy::kSpeculativeResume:
+      return simulate_s_resume(p, r, rng);
+  }
+  CHRONOS_ENSURES(false, "unknown strategy");
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo(Strategy strategy, const JobParams& params,
+                             long long r, std::uint64_t jobs, Rng& rng) {
+  params.validate();
+  CHRONOS_EXPECTS(r >= 0, "r must be >= 0");
+  CHRONOS_EXPECTS(jobs > 0, "at least one simulated job is required");
+
+  std::uint64_t met = 0;
+  stats::RunningStats times;
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    bool job_met = true;
+    double job_time = 0.0;
+    for (int t = 0; t < params.num_tasks; ++t) {
+      const auto outcome = simulate_task(strategy, params, r, rng);
+      job_met = job_met && outcome.met_deadline;
+      job_time += outcome.machine_time;
+    }
+    met += job_met ? 1 : 0;
+    times.add(job_time);
+  }
+
+  MonteCarloResult result;
+  result.jobs = jobs;
+  result.pocd = static_cast<double>(met) / static_cast<double>(jobs);
+  result.pocd_ci = stats::proportion_ci_halfwidth(met, jobs);
+  result.machine_time = times.mean();
+  result.machine_time_sem =
+      times.stddev() / std::sqrt(static_cast<double>(jobs));
+  return result;
+}
+
+MonteCarloResult monte_carlo_no_speculation(const JobParams& params,
+                                            std::uint64_t jobs, Rng& rng) {
+  params.validate();
+  CHRONOS_EXPECTS(jobs > 0, "at least one simulated job is required");
+  std::uint64_t met = 0;
+  stats::RunningStats times;
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    bool job_met = true;
+    double job_time = 0.0;
+    for (int t = 0; t < params.num_tasks; ++t) {
+      const double duration = rng.pareto(params.t_min, params.beta);
+      job_met = job_met && duration <= params.deadline;
+      job_time += duration;
+    }
+    met += job_met ? 1 : 0;
+    times.add(job_time);
+  }
+  MonteCarloResult result;
+  result.jobs = jobs;
+  result.pocd = static_cast<double>(met) / static_cast<double>(jobs);
+  result.pocd_ci = stats::proportion_ci_halfwidth(met, jobs);
+  result.machine_time = times.mean();
+  result.machine_time_sem =
+      times.stddev() / std::sqrt(static_cast<double>(jobs));
+  return result;
+}
+
+}  // namespace chronos::core

@@ -1,0 +1,37 @@
+// Monte-Carlo estimators of PoCD and expected machine time under the exact
+// model semantics of §III/§IV. These validate every closed form in the
+// analytic core (tests) and provide reference numbers for the benches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/model.h"
+
+namespace chronos::core {
+
+struct MonteCarloResult {
+  double pocd = 0.0;            ///< fraction of simulated jobs meeting D
+  double pocd_ci = 0.0;         ///< ~95% CI half-width on pocd
+  double machine_time = 0.0;    ///< mean per-job machine time
+  double machine_time_sem = 0.0;  ///< standard error of the mean
+  std::uint64_t jobs = 0;
+};
+
+/// Simulates `jobs` independent jobs of `params.num_tasks` tasks under the
+/// idealized strategy semantics the theorems assume:
+///  - attempt durations are i.i.d. Pareto(t_min, beta);
+///  - straggler detection at tau_est is exact (an attempt is a straggler iff
+///    its sampled duration exceeds D);
+///  - killed attempts are charged machine time up to tau_kill;
+///  - S-Resume attempts process the remaining (1 - phi_est) fraction.
+/// Requires r >= 0 and valid params.
+MonteCarloResult monte_carlo(Strategy strategy, const JobParams& params,
+                             long long r, std::uint64_t jobs, Rng& rng);
+
+/// Monte-Carlo estimate for the no-speculation baseline (single attempt per
+/// task, no kills).
+MonteCarloResult monte_carlo_no_speculation(const JobParams& params,
+                                            std::uint64_t jobs, Rng& rng);
+
+}  // namespace chronos::core

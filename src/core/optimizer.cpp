@@ -1,0 +1,132 @@
+#include "core/optimizer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "core/thresholds.h"
+
+namespace chronos::core {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+class Objective {
+ public:
+  Objective(Strategy strategy, const JobParams& params, const Economics& econ)
+      : strategy_(strategy), params_(params), econ_(econ) {}
+
+  double operator()(long long r) {
+    ++evaluations_;
+    const auto point =
+        evaluate_utility(strategy_, params_, econ_, static_cast<double>(r));
+    if (evaluations_ == 1 || point.utility > best_.utility) {
+      best_ = point;
+    }
+    return point.utility;
+  }
+
+  const UtilityPoint& best() const { return best_; }
+  std::int64_t evaluations() const { return evaluations_; }
+
+ private:
+  Strategy strategy_;
+  const JobParams& params_;
+  const Economics& econ_;
+  UtilityPoint best_{};
+  std::int64_t evaluations_ = 0;
+};
+
+OptimizationResult finish(const Objective& objective, Strategy strategy,
+                          const JobParams& params) {
+  OptimizationResult result;
+  result.best = objective.best();
+  result.r_opt = static_cast<long long>(std::llround(result.best.r));
+  result.gamma = gamma_threshold(strategy, params);
+  result.evaluations = objective.evaluations();
+  result.feasible = std::isfinite(result.best.utility);
+  if (!result.feasible) {
+    result.r_opt = 0;
+  }
+  return result;
+}
+
+}  // namespace
+
+OptimizationResult optimize(Strategy strategy, const JobParams& params,
+                            const Economics& econ,
+                            const OptimizerOptions& options) {
+  params.validate();
+  econ.validate();
+  CHRONOS_EXPECTS(options.max_r >= 0, "max_r must be >= 0");
+
+  Objective objective(strategy, params, econ);
+  const long long start = concave_start(strategy, params);
+
+  // Phase 2 of Algorithm 1 (run first here; order does not matter): the
+  // non-concave prefix 0 .. ceil(Gamma)-1 is scanned exhaustively.
+  for (long long r = 0; r < std::min(start, options.max_r + 1); ++r) {
+    objective(r);
+  }
+
+  // Phase 1: the concave region [ceil(Gamma), max_r]. Concavity makes U
+  // unimodal over the integers, except that a prefix of the region may be
+  // -infinity (R(r) <= R_min); utility is increasing through that prefix,
+  // so a guarded ternary search remains exact.
+  long long lo = std::min(start, options.max_r);
+  long long hi = options.max_r;
+  while (hi - lo > 2) {
+    const long long m1 = lo + (hi - lo) / 3;
+    const long long m2 = hi - (hi - lo) / 3;
+    const double f1 = objective(m1);
+    const double f2 = objective(m2);
+    if (f1 == kNegInf && f2 == kNegInf) {
+      // Still inside the infeasible prefix where U is -inf; the optimum (if
+      // any) lies to the right of m2.
+      lo = m2 + 1;
+    } else if (f1 < f2) {
+      lo = m1 + 1;
+    } else {
+      hi = m2 - 1;
+    }
+  }
+  for (long long r = lo; r <= hi; ++r) {
+    objective(r);
+  }
+
+  return finish(objective, strategy, params);
+}
+
+OptimizationResult brute_force_optimize(Strategy strategy,
+                                        const JobParams& params,
+                                        const Economics& econ,
+                                        const OptimizerOptions& options) {
+  params.validate();
+  econ.validate();
+  CHRONOS_EXPECTS(options.max_r >= 0, "max_r must be >= 0");
+  Objective objective(strategy, params, econ);
+  for (long long r = 0; r <= options.max_r; ++r) {
+    objective(r);
+  }
+  return finish(objective, strategy, params);
+}
+
+BestStrategy optimize_all(const JobParams& params, const Economics& econ,
+                          const OptimizerOptions& options) {
+  BestStrategy best;
+  bool first = true;
+  for (const Strategy strategy :
+       {Strategy::kClone, Strategy::kSpeculativeRestart,
+        Strategy::kSpeculativeResume}) {
+    auto result = optimize(strategy, params, econ, options);
+    if (first || result.best.utility > best.result.best.utility) {
+      best.strategy = strategy;
+      best.result = result;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace chronos::core

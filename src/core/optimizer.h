@@ -1,0 +1,54 @@
+// Algorithm 1 — the unifying optimization algorithm of §V-B.
+//
+// Maximizes U(r) = lg(R(r) - R_min) - theta * C * E(T) over integer r >= 0.
+// Phase 1 searches the provably concave region r >= ceil(Gamma) (Theorem 8);
+// phase 2 exhaustively checks the handful of integers below ceil(Gamma).
+// Theorem 9: the combination returns a global optimum.
+#pragma once
+
+#include <cstdint>
+
+#include "core/model.h"
+#include "core/utility.h"
+
+namespace chronos::core {
+
+struct OptimizerOptions {
+  /// Upper bound on r explored by the concave-phase search. The objective
+  /// decays like -theta*C*E(T) for large r, so the optimum is far below this.
+  long long max_r = 4096;
+};
+
+struct OptimizationResult {
+  long long r_opt = 0;       ///< optimal number of extra attempts
+  UtilityPoint best;         ///< objective components at r_opt
+  double gamma = 0.0;        ///< concavity threshold used (Theorem 8)
+  std::int64_t evaluations = 0;  ///< number of U(r) evaluations performed
+  bool feasible = false;     ///< true when U(r_opt) is finite
+                             ///< (R(r_opt) > R_min is attainable)
+};
+
+/// Runs Algorithm 1 for `strategy`. Requires valid params/econ. When no
+/// integer r in [0, max_r] achieves R(r) > R_min, the result has
+/// feasible == false and r_opt == 0 with utility == -infinity.
+OptimizationResult optimize(Strategy strategy, const JobParams& params,
+                            const Economics& econ,
+                            const OptimizerOptions& options = {});
+
+/// Reference implementation: linear scan of U(r) for r in [0, max_r].
+/// Exponential-time-free but O(max_r); used to validate `optimize`.
+OptimizationResult brute_force_optimize(Strategy strategy,
+                                        const JobParams& params,
+                                        const Economics& econ,
+                                        const OptimizerOptions& options = {});
+
+/// Convenience: runs `optimize` for all three strategies and returns the
+/// strategy/result pair with the highest net utility.
+struct BestStrategy {
+  Strategy strategy = Strategy::kClone;
+  OptimizationResult result;
+};
+BestStrategy optimize_all(const JobParams& params, const Economics& econ,
+                          const OptimizerOptions& options = {});
+
+}  // namespace chronos::core

@@ -1,0 +1,34 @@
+// Probability of Completion before Deadline (PoCD) — closed forms from
+// Theorems 1, 3 and 5 of the paper.
+//
+// All functions accept a real-valued r so the optimizer can run its
+// continuous line-search phase; integer r gives the paper's quantities.
+#pragma once
+
+#include "core/model.h"
+
+namespace chronos::core {
+
+/// Theorem 1:  R_Clone = [1 - (t_min/D)^{beta (r+1)}]^N.
+double pocd_clone(const JobParams& params, double r);
+
+/// Theorem 3:  R_S-Restart = [1 - t_min^{beta(r+1)} /
+///                            (D^beta (D - tau_est)^{beta r})]^N.
+double pocd_s_restart(const JobParams& params, double r);
+
+/// Theorem 5:  R_S-Resume = [1 - (1-phi)^{beta(r+1)} t_min^{beta(r+2)} /
+///                           (D^beta (D - tau_est)^{beta(r+1)})]^N.
+double pocd_s_resume(const JobParams& params, double r);
+
+/// Dispatch on `strategy`. Requires r >= 0 and valid params.
+double pocd(Strategy strategy, const JobParams& params, double r);
+
+/// Probability that a single task (not the whole job) completes before D
+/// under the strategy; the job PoCD is this value raised to the N-th power.
+double task_pocd(Strategy strategy, const JobParams& params, double r);
+
+/// PoCD of default Hadoop with no speculation: every task has a single
+/// attempt, so R = [1 - (t_min/D)^beta]^N. Used as R_min in the evaluation.
+double pocd_no_speculation(const JobParams& params);
+
+}  // namespace chronos::core

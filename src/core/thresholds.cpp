@@ -1,0 +1,66 @@
+#include "core/thresholds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chronos::core {
+
+namespace {
+
+/// log_base(x) for base in (0, 1): ln(x) / ln(base).
+double log_base(double base, double x) {
+  CHRONOS_ENSURES(base > 0.0 && base != 1.0, "invalid logarithm base");
+  CHRONOS_ENSURES(x > 0.0, "logarithm of a non-positive value");
+  return std::log(x) / std::log(base);
+}
+
+}  // namespace
+
+double gamma_clone(const JobParams& params) {
+  params.validate();
+  const double base = params.t_min / params.deadline;
+  return -log_base(base, static_cast<double>(params.num_tasks)) /
+             params.beta -
+         1.0;
+}
+
+double gamma_s_restart(const JobParams& params) {
+  params.validate();
+  const double base = params.t_min / (params.deadline - params.tau_est);
+  const double arg = std::pow(params.deadline, params.beta) /
+                     (static_cast<double>(params.num_tasks) *
+                      std::pow(params.t_min, params.beta));
+  return log_base(base, arg) / params.beta;
+}
+
+double gamma_s_resume(const JobParams& params) {
+  params.validate();
+  const double base = (1.0 - params.phi_est) * params.t_min /
+                      (params.deadline - params.tau_est);
+  const double arg = std::pow(params.deadline, params.beta) /
+                     (static_cast<double>(params.num_tasks) *
+                      std::pow(params.t_min, params.beta));
+  return log_base(base, arg) / params.beta - 1.0;
+}
+
+double gamma_threshold(Strategy strategy, const JobParams& params) {
+  switch (strategy) {
+    case Strategy::kClone:
+      return gamma_clone(params);
+    case Strategy::kSpeculativeRestart:
+      return gamma_s_restart(params);
+    case Strategy::kSpeculativeResume:
+      return gamma_s_resume(params);
+  }
+  CHRONOS_ENSURES(false, "unknown strategy");
+}
+
+long long concave_start(Strategy strategy, const JobParams& params) {
+  const double gamma = gamma_threshold(strategy, params);
+  const auto ceil_gamma = static_cast<long long>(std::ceil(gamma));
+  return std::max<long long>(0, ceil_gamma);
+}
+
+}  // namespace chronos::core

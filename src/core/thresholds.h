@@ -1,0 +1,28 @@
+// Concavity thresholds Gamma_strategy of Theorem 8: the net utility U(r) is
+// concave in r for r > Gamma. Algorithm 1 searches exhaustively below
+// ceil(Gamma) and convexly above it.
+#pragma once
+
+#include "core/model.h"
+
+namespace chronos::core {
+
+/// Gamma_Clone = -(1/beta) log_{t_min/D} N - 1.
+double gamma_clone(const JobParams& params);
+
+/// Gamma_S-Restart = (1/beta) log_{t_min/(D - tau_est)}
+///                   (D^beta / (N t_min^beta)).
+double gamma_s_restart(const JobParams& params);
+
+/// Gamma_S-Resume = (1/beta) log_{(1-phi) t_min/(D - tau_est)}
+///                  (D^beta / (N t_min^beta)) - 1.
+double gamma_s_resume(const JobParams& params);
+
+/// Dispatch on `strategy`.
+double gamma_threshold(Strategy strategy, const JobParams& params);
+
+/// First integer r at or above which concavity is guaranteed:
+/// max(0, ceil(gamma_threshold)).
+long long concave_start(Strategy strategy, const JobParams& params);
+
+}  // namespace chronos::core

@@ -1,0 +1,31 @@
+#include "core/utility.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/cost.h"
+#include "core/pocd.h"
+
+namespace chronos::core {
+
+double utility_shaping(double x) {
+  if (x <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return std::log10(x);
+}
+
+UtilityPoint evaluate_utility(Strategy strategy, const JobParams& params,
+                              const Economics& econ, double r) {
+  econ.validate();
+  UtilityPoint point;
+  point.r = r;
+  point.pocd = pocd(strategy, params, r);
+  point.machine_time = machine_time(strategy, params, r);
+  point.cost = econ.price * point.machine_time;
+  point.utility =
+      utility_shaping(point.pocd - econ.r_min) - econ.theta * point.cost;
+  return point;
+}
+
+}  // namespace chronos::core

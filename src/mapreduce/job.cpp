@@ -1,0 +1,46 @@
+#include "mapreduce/job.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace chronos::mapreduce {
+
+void JobSpec::validate() const {
+  CHRONOS_EXPECTS(num_tasks >= 1, "JobSpec: num_tasks must be >= 1");
+  CHRONOS_EXPECTS(t_min > 0.0, "JobSpec: t_min must be positive");
+  CHRONOS_EXPECTS(beta > 0.0, "JobSpec: beta must be positive");
+  CHRONOS_EXPECTS(deadline > 0.0, "JobSpec: deadline must be positive");
+  CHRONOS_EXPECTS(tau_est >= 0.0, "JobSpec: tau_est must be non-negative");
+  CHRONOS_EXPECTS(tau_kill >= tau_est, "JobSpec: tau_kill must be >= tau_est");
+  CHRONOS_EXPECTS(r >= 0, "JobSpec: r must be non-negative");
+  CHRONOS_EXPECTS(price >= 0.0, "JobSpec: price must be non-negative");
+  CHRONOS_EXPECTS(jvm_mean >= 0.0, "JobSpec: jvm_mean must be non-negative");
+  CHRONOS_EXPECTS(jvm_jitter >= 0.0 && jvm_jitter <= jvm_mean + 1e-12,
+                  "JobSpec: jvm_jitter must lie in [0, jvm_mean]");
+  CHRONOS_EXPECTS(reduce_tasks >= 0,
+                  "JobSpec: reduce_tasks must be non-negative");
+  if (reduce_tasks > 0) {
+    CHRONOS_EXPECTS(effective_reduce_t_min() > 0.0,
+                    "JobSpec: reduce t_min must be positive");
+    CHRONOS_EXPECTS(effective_reduce_beta() > 0.0,
+                    "JobSpec: reduce beta must be positive");
+    CHRONOS_EXPECTS(
+        effective_reduce_tau_kill() >= effective_reduce_tau_est(),
+        "JobSpec: reduce tau_kill must be >= reduce tau_est");
+  }
+}
+
+double AttemptRecord::true_progress(double now) const {
+  if (state == AttemptState::kWaiting || now <= launch_time + jvm_time) {
+    return start_offset;
+  }
+  const double elapsed_work = now - launch_time - jvm_time;
+  if (work_duration <= 0.0) {
+    return 1.0;
+  }
+  const double fraction = std::min(1.0, elapsed_work / work_duration);
+  return start_offset + (1.0 - start_offset) * fraction;
+}
+
+}  // namespace chronos::mapreduce

@@ -1,0 +1,145 @@
+// Job / task / attempt data model for the simulated MapReduce engine.
+//
+// Mirrors the Hadoop YARN entities of §VI: an application master creates
+// tasks for a submitted job, asks the cluster (RM) for containers, launches
+// attempts in them (paying a JVM startup delay), monitors progress scores,
+// and kills or speculates attempts per the active strategy.
+#pragma once
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace chronos::mapreduce {
+
+/// Static description of one job, produced by the workload/trace generators.
+struct JobSpec {
+  int job_id = 0;
+  int num_tasks = 1;
+  double deadline = 0.0;    ///< relative to job submission
+  double t_min = 1.0;       ///< Pareto scale of attempt execution time
+  double beta = 1.5;        ///< Pareto tail index of attempt execution time
+  double tau_est = 0.0;     ///< straggler-detection time (Chronos strategies)
+  double tau_kill = 0.0;    ///< kill time (Chronos strategies)
+  long long r = 0;          ///< extra attempts chosen by the optimizer
+  double price = 1.0;       ///< VM price per machine-second at submission
+  double jvm_mean = 0.0;    ///< mean JVM startup delay (0 = instant)
+  double jvm_jitter = 0.0;  ///< +- uniform jitter around jvm_mean
+
+  // Optional reduce stage (the paper optimizes map and reduce separately;
+  // §III analyses one stage at a time). Reduce tasks launch when every map
+  // task has completed (shuffle barrier).
+  int reduce_tasks = 0;         ///< 0 = map-only job
+  double reduce_t_min = 0.0;    ///< 0 = inherit t_min
+  double reduce_beta = 0.0;     ///< 0 = inherit beta
+  long long reduce_r = -1;      ///< -1 = inherit r
+  double reduce_tau_est = -1.0;   ///< -1 = inherit; relative to stage start
+  double reduce_tau_kill = -1.0;  ///< -1 = inherit; relative to stage start
+
+  /// Effective reduce-stage parameters after inheritance.
+  double effective_reduce_t_min() const {
+    return reduce_t_min > 0.0 ? reduce_t_min : t_min;
+  }
+  double effective_reduce_beta() const {
+    return reduce_beta > 0.0 ? reduce_beta : beta;
+  }
+  long long effective_reduce_r() const { return reduce_r >= 0 ? reduce_r : r; }
+  double effective_reduce_tau_est() const {
+    return reduce_tau_est >= 0.0 ? reduce_tau_est : tau_est;
+  }
+  double effective_reduce_tau_kill() const {
+    return reduce_tau_kill >= 0.0 ? reduce_tau_kill : tau_kill;
+  }
+
+  int total_tasks() const { return num_tasks + reduce_tasks; }
+
+  void validate() const;
+};
+
+enum class AttemptState {
+  kWaiting,   ///< queued for a container
+  kRunning,   ///< granted; executing (JVM startup included)
+  kFinished,  ///< processed its assigned byte range
+  kKilled,    ///< killed by the strategy or by task completion
+  kFailed,    ///< crashed (node/VM failure); the scheduler retries the task
+};
+
+/// One execution attempt of a task.
+struct AttemptRecord {
+  int attempt_id = 0;       ///< index within the job's attempt table
+  int task_index = 0;
+  AttemptState state = AttemptState::kWaiting;
+  int node = -1;
+
+  double request_time = 0.0;   ///< when the container was requested
+  double launch_time = 0.0;    ///< when the container was granted
+  double jvm_time = 0.0;       ///< startup delay before any progress
+  double work_duration = 0.0;  ///< time to process the assigned range
+  double start_offset = 0.0;   ///< fraction of the split already processed
+  double end_time = 0.0;       ///< finish or kill time (valid once ended)
+
+  // First progress report (drives the Chronos estimator, Eq. 30).
+  bool reported = false;
+  double first_report_time = 0.0;
+  double first_report_progress = 0.0;
+
+  sim::EventId finish_event;
+
+  /// True fraction of the task's split processed at time `now`
+  /// (start_offset until the JVM is up, then linear to 1).
+  double true_progress(double now) const;
+
+  /// Absolute finish time (launch + jvm + work); valid once running.
+  double planned_finish() const {
+    return launch_time + jvm_time + work_duration;
+  }
+
+  bool running() const { return state == AttemptState::kRunning; }
+  bool ended() const {
+    return state == AttemptState::kFinished ||
+           state == AttemptState::kKilled || state == AttemptState::kFailed;
+  }
+};
+
+/// One map task (one input split).
+struct TaskRecord {
+  std::vector<int> attempt_ids;
+  bool completed = false;
+  double completion_time = 0.0;  ///< relative to job submission
+  int winner_attempt = -1;
+  int extra_attempts_launched = 0;  ///< speculative copies beyond the first
+};
+
+/// Runtime state of a submitted job.
+struct JobRecord {
+  JobSpec spec;
+  double submit_time = 0.0;
+  std::vector<TaskRecord> tasks;  ///< map tasks first, then reduce tasks
+  std::vector<AttemptRecord> attempts;
+  int tasks_completed = 0;
+  bool done = false;
+  bool reduce_started = false;
+  double reduce_stage_start = 0.0;  ///< valid once reduce_started
+  double completion_time = 0.0;  ///< relative to submission
+  double machine_time = 0.0;     ///< accrued VM seconds
+  int attempts_launched = 0;
+  int attempts_killed = 0;
+  int attempts_failed = 0;  ///< crashes injected by the failure model
+
+  bool all_tasks_done() const {
+    return tasks_completed == static_cast<int>(tasks.size());
+  }
+
+  /// True when `task` indexes into the reduce stage.
+  bool is_reduce_task(int task) const { return task >= spec.num_tasks; }
+
+  int map_tasks_completed() const {
+    int count = 0;
+    for (int t = 0; t < spec.num_tasks; ++t) {
+      count += tasks[static_cast<std::size_t>(t)].completed ? 1 : 0;
+    }
+    return count;
+  }
+};
+
+}  // namespace chronos::mapreduce

@@ -1,0 +1,217 @@
+// The application-master / cluster driver.
+//
+// Owns all job state, talks to the Cluster for containers, executes attempt
+// lifecycles on the discrete-event Simulator, and delegates every
+// speculation decision to a pluggable SpeculationPolicy (one per run). The
+// six strategies of §VII (Hadoop-NS/S, Mantri, Clone, S-Restart, S-Resume)
+// are implemented as policies in src/strategies.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mapreduce/job.h"
+#include "mapreduce/progress.h"
+#include "sim/cluster.h"
+#include "sim/metrics.h"
+#include "sim/simulator.h"
+
+namespace chronos::mapreduce {
+
+class SchedulerApi;
+
+/// Strategy hook interface. Policies keep per-job state keyed by the job
+/// index passed to each hook and drive themselves with api.schedule_after.
+class SpeculationPolicy {
+ public:
+  virtual ~SpeculationPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// How many attempts to launch per task at submission (Clone: r + 1).
+  virtual int initial_attempts(const JobSpec& spec) const {
+    (void)spec;
+    return 1;
+  }
+
+  /// Invoked right after a job's initial attempts have been requested.
+  virtual void on_job_start(int job, SchedulerApi& api) {
+    (void)job;
+    (void)api;
+  }
+
+  /// Invoked whenever a task of `job` completes.
+  virtual void on_task_completed(int job, int task, SchedulerApi& api) {
+    (void)job;
+    (void)task;
+    (void)api;
+  }
+
+  /// Invoked when the shuffle barrier clears and the reduce stage starts
+  /// (only for jobs with reduce_tasks > 0, right after the reduce tasks'
+  /// initial attempts have been requested).
+  virtual void on_reduce_stage_start(int job, SchedulerApi& api) {
+    (void)job;
+    (void)api;
+  }
+
+  /// Invoked when the job's last task completes.
+  virtual void on_job_completed(int job, SchedulerApi& api) {
+    (void)job;
+    (void)api;
+  }
+};
+
+/// Crash-failure injection (§VII remarks on system breakdown / VM crash).
+struct FailureConfig {
+  /// Exponential crash rate per attempt-second of execution. 0 = disabled.
+  double rate = 0.0;
+  /// When true, a crashed attempt's partial output is lost and the
+  /// scheduler's automatic retry restarts from byte 0 even for resumed
+  /// attempts; when false the retry keeps the attempt's start offset (the
+  /// work-preserving assumption of §VI-B2).
+  bool lose_partial_output = true;
+};
+
+struct SchedulerConfig {
+  ProgressNoiseConfig noise = ProgressNoiseConfig::none();
+  /// Estimator used by api.estimate_completion unless overridden per call.
+  EstimatorKind estimator = EstimatorKind::kChronos;
+  /// When false, resume offsets skip the Eq. 31 anticipation of bytes the
+  /// original processes during the new attempts' JVM startup (ablation).
+  bool anticipate_resume_offset = true;
+  FailureConfig failures;
+};
+
+class Scheduler {
+ public:
+  /// The simulator, cluster and policy must outlive the scheduler.
+  Scheduler(sim::Simulator& simulator, sim::Cluster& cluster,
+            SpeculationPolicy& policy, SchedulerConfig config, Rng rng);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Submits `spec` at the current simulated time; returns the job index.
+  int submit(const JobSpec& spec);
+
+  /// Metrics of all completed jobs.
+  const sim::RunMetrics& metrics() const { return metrics_; }
+
+  /// Read access for tests and policies.
+  const JobRecord& job(int job) const;
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+
+ private:
+  friend class SchedulerApi;
+
+  JobRecord& job_mut(int job);
+
+  /// Creates an attempt record for `task` starting at `offset` and requests
+  /// a container. Returns the attempt id.
+  int launch_attempt(int job, int task, double offset);
+
+  /// Called when the cluster grants a container.
+  void on_container_granted(int job, int attempt, int node);
+
+  /// Called by the finish event of a running attempt.
+  void on_attempt_finished(int job, int attempt);
+
+  /// Called by the crash event of a running attempt (failure injection):
+  /// marks it failed and retries the task with a fresh attempt.
+  void on_attempt_failed(int job, int attempt);
+
+  /// Kills a waiting or running attempt (no-op when already ended).
+  void kill_attempt(int job, int attempt);
+
+  /// Accrues machine time and frees the container of an ended attempt.
+  void end_attempt(int job, int attempt, AttemptState final_state);
+
+  void complete_task(int job, int task, int winner_attempt);
+  void maybe_start_reduce_stage(int job);
+  void maybe_complete_job(int job);
+
+  sim::Simulator& simulator_;
+  sim::Cluster& cluster_;
+  SpeculationPolicy& policy_;
+  SchedulerConfig config_;
+  Rng rng_;
+  std::vector<JobRecord> jobs_;
+  sim::RunMetrics metrics_;
+  std::unique_ptr<SchedulerApi> api_;
+};
+
+/// Facade through which policies inspect and act on jobs.
+class SchedulerApi {
+ public:
+  explicit SchedulerApi(Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  double now() const;
+  Rng& rng();
+
+  const JobSpec& spec(int job) const;
+  const JobRecord& job(int job) const;
+
+  /// Time relative to the job's submission (strategy timers are job-local).
+  double job_time(int job) const;
+
+  /// Indices of tasks not yet completed (both stages).
+  std::vector<int> incomplete_tasks(int job) const;
+
+  /// Incomplete tasks restricted to one stage.
+  std::vector<int> incomplete_map_tasks(int job) const;
+  std::vector<int> incomplete_reduce_tasks(int job) const;
+
+  /// Attempt ids of `task` that are waiting or running.
+  std::vector<int> active_attempts(int job, int task) const;
+
+  const AttemptRecord& attempt(int job, int attempt_id) const;
+
+  /// Observes the attempt's progress score now (noise model applied).
+  ProgressReport observe(int job, int attempt_id);
+
+  /// Estimated absolute completion time using the configured estimator, or
+  /// `kind` when given. Infinite when no estimate is possible.
+  double estimate_completion(int job, int attempt_id);
+  double estimate_completion(int job, int attempt_id, EstimatorKind kind);
+
+  /// Launches an extra attempt of `task` processing [offset, 1]; returns the
+  /// attempt id. Counts toward extra_attempts_launched.
+  int launch_extra_attempt(int job, int task, double offset = 0.0);
+
+  /// Kills one attempt (idempotent on ended attempts).
+  void kill_attempt(int job, int attempt_id);
+
+  /// Kills all active attempts of `task` except the one with the best
+  /// observed progress (ties: lowest attempt id). No-op with < 2 active.
+  void keep_best_progress(int job, int task);
+
+  /// Kills all active attempts of `task` except the one with the smallest
+  /// estimated completion time. Attempts with unknown estimates are treated
+  /// as worst. No-op with < 2 active attempts.
+  void keep_best_estimate(int job, int task);
+
+  /// Eq. 31 resume offset for a detected straggler attempt.
+  double resume_offset_for(int job, int attempt_id);
+
+  /// Schedules `fn` after `delay` seconds of simulated time.
+  void schedule_after(double delay, std::function<void()> fn);
+
+  /// Cluster occupancy, used by Mantri's launch condition.
+  bool cluster_has_idle_container() const;
+  std::size_t cluster_pending_requests() const;
+
+  /// Mean completion time (relative to submission) of completed tasks.
+  /// Returns 0 when none have completed.
+  double mean_completed_task_time(int job) const;
+
+  int completed_task_count(int job) const;
+
+ private:
+  Scheduler& scheduler_;
+};
+
+}  // namespace chronos::mapreduce

@@ -1,0 +1,77 @@
+// Cluster model: a set of nodes, each with a fixed number of containers
+// (YARN-style execution slots), a relative speed factor, and a stochastic
+// background-noise process that inflates attempt durations (emulating the
+// Stress-generated contention of §VII-A).
+//
+// Container requests that cannot be satisfied immediately queue FIFO and are
+// granted as containers free up.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace chronos::sim {
+
+struct NodeConfig {
+  double speed = 1.0;        ///< relative processing speed (> 0)
+  int containers = 8;        ///< execution slots (>= 1)
+  double noise_mean = 0.0;   ///< mean extra slowdown from contention (>= 0)
+  double noise_sigma = 0.0;  ///< lognormal sigma of the contention factor
+};
+
+struct ClusterConfig {
+  std::vector<NodeConfig> nodes;
+
+  /// Homogeneous cluster shortcut.
+  static ClusterConfig uniform(int num_nodes, const NodeConfig& node);
+};
+
+class Cluster {
+ public:
+  /// Callback invoked with the granting node's index.
+  using Grant = std::function<void(int node)>;
+
+  explicit Cluster(ClusterConfig config);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int total_containers() const { return total_containers_; }
+  int busy_containers() const { return busy_; }
+  int idle_containers() const { return total_containers_ - busy_; }
+  bool has_idle_container() const { return idle_containers() > 0; }
+  std::size_t pending_requests() const { return waiting_.size(); }
+
+  /// Requests one container. If one is free the grant runs synchronously;
+  /// otherwise the request queues FIFO.
+  void request_container(Grant grant);
+
+  /// Releases a container on `node`; the oldest waiting request (if any) is
+  /// granted synchronously. Requires a container on `node` to be busy.
+  void release_container(int node);
+
+  /// Speed factor of `node` (>0).
+  double node_speed(int node) const;
+
+  /// Samples a multiplicative slowdown (>= 1) for an attempt placed on
+  /// `node`, combining the node's deterministic speed with its stochastic
+  /// contention factor.
+  double sample_slowdown(int node, Rng& rng) const;
+
+ private:
+  struct NodeState {
+    NodeConfig config;
+    int busy = 0;
+  };
+
+  /// Node with the most free containers (ties -> lowest index), or -1.
+  int pick_node() const;
+
+  std::vector<NodeState> nodes_;
+  std::deque<Grant> waiting_;
+  int total_containers_ = 0;
+  int busy_ = 0;
+};
+
+}  // namespace chronos::sim

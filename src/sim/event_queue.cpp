@@ -1,0 +1,66 @@
+#include "sim/event_queue.h"
+
+#include "common/error.h"
+
+namespace chronos::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> fn) {
+  CHRONOS_EXPECTS(at >= 0.0, "cannot schedule an event before time 0");
+  CHRONOS_EXPECTS(static_cast<bool>(fn), "event callback must be callable");
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_;
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  const auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) {
+    return false;  // already fired or cancelled
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  CHRONOS_ENSURES(live_ > 0, "live event count underflow");
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty() &&
+         self->cancelled_.contains(self->heap_.top().id)) {
+    self->cancelled_.erase(self->heap_.top().id);
+    self->heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  CHRONOS_EXPECTS(!heap_.empty(), "next_time on an empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  CHRONOS_EXPECTS(!heap_.empty(), "pop on an empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  const auto it = callbacks_.find(top.id);
+  CHRONOS_ENSURES(it != callbacks_.end(), "live event lost its callback");
+  Fired fired{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  CHRONOS_ENSURES(live_ > 0, "live event count underflow");
+  --live_;
+  return fired;
+}
+
+}  // namespace chronos::sim

@@ -1,0 +1,77 @@
+// Cancellable discrete-event queue.
+//
+// Events fire in (time, insertion-sequence) order so that simultaneous
+// events execute deterministically in scheduling order — a requirement for
+// reproducible trace-driven runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace chronos::sim {
+
+/// Simulated time, in seconds.
+using Time = double;
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `at`. Requires at >= 0.
+  EventId schedule(Time at, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false when the event already fired,
+  /// was cancelled, or the id is invalid. Idempotent.
+  bool cancel(EventId id);
+
+  /// True when no runnable (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Time of the earliest runnable event. Requires !empty().
+  Time next_time() const;
+
+  /// Removes and returns the earliest runnable event. Requires !empty().
+  struct Fired {
+    Time time;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Ordered as a min-heap on (time, seq) via greater-than comparison.
+    bool operator>(const Entry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+      heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  // Callback storage separated from heap entries so cancel() is O(1).
+  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace chronos::sim

@@ -1,0 +1,42 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace chronos::sim {
+
+void RunMetrics::record(const JobOutcome& outcome) {
+  outcomes_.push_back(outcome);
+  met_ += outcome.met_deadline ? 1 : 0;
+  launched_ += static_cast<std::uint64_t>(outcome.attempts_launched);
+  killed_ += static_cast<std::uint64_t>(outcome.attempts_killed);
+  failed_ += static_cast<std::uint64_t>(outcome.attempts_failed);
+  machine_time_.add(outcome.machine_time);
+  cost_.add(outcome.cost);
+}
+
+double RunMetrics::pocd() const {
+  CHRONOS_EXPECTS(!outcomes_.empty(), "pocd requires at least one job");
+  return static_cast<double>(met_) / static_cast<double>(outcomes_.size());
+}
+
+double RunMetrics::pocd_ci() const {
+  CHRONOS_EXPECTS(!outcomes_.empty(), "pocd_ci requires at least one job");
+  return stats::proportion_ci_halfwidth(met_, outcomes_.size());
+}
+
+double RunMetrics::mean_cost() const { return cost_.mean(); }
+
+double RunMetrics::mean_machine_time() const { return machine_time_.mean(); }
+
+double RunMetrics::utility(double theta, double r_min) const {
+  const double margin = pocd() - r_min;
+  if (margin <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return std::log10(margin) - theta * mean_cost();
+}
+
+}  // namespace chronos::sim

@@ -1,0 +1,45 @@
+// Simulation clock and event loop.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace chronos::sim {
+
+class Simulator {
+ public:
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= now()).
+  EventId at(Time at, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (>= 0).
+  EventId after(double delay, std::function<void()> fn);
+
+  /// Cancels a pending event; see EventQueue::cancel.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs until the queue drains or simulated time would exceed `limit`;
+  /// events at exactly `limit` still fire.
+  void run_until(Time limit);
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+
+  /// Pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  void step();
+
+  EventQueue queue_;
+  Time now_ = 0.0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace chronos::sim

@@ -1,0 +1,130 @@
+#include "stats/distribution.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/numeric.h"
+
+namespace chronos::stats {
+
+double Distribution::mean() const {
+  // E[T] = lower + int_{lower}^inf S(t) dt for non-negative T.
+  const double lower = lower_bound();
+  return lower + numeric::integrate_to_infinity(
+                     [this](double t) { return survival(t); }, lower, 1e-9);
+}
+
+double normal_cdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  CHRONOS_EXPECTS(p > 0.0 && p < 1.0,
+                  "normal_quantile requires p in (0, 1)");
+  // Acklam's rational approximation refined with one Newton step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+         c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+         a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Newton refinement against the CDF.
+  const double e = normal_cdf(x) - p;
+  const double u =
+      e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  return x - u / (1.0 + 0.5 * x * u);
+}
+
+ShiftedLogNormal::ShiftedLogNormal(double shift, double mu, double sigma)
+    : shift_(shift), mu_(mu), sigma_(sigma) {
+  CHRONOS_EXPECTS(shift >= 0.0, "shift must be non-negative");
+  CHRONOS_EXPECTS(sigma > 0.0, "sigma must be positive");
+}
+
+double ShiftedLogNormal::survival(double t) const {
+  if (t <= shift_) {
+    return 1.0;
+  }
+  const double z = (std::log(t - shift_) - mu_) / sigma_;
+  return 1.0 - normal_cdf(z);
+}
+
+double ShiftedLogNormal::quantile(double p) const {
+  CHRONOS_EXPECTS(p >= 0.0 && p < 1.0, "quantile requires p in [0, 1)");
+  if (p == 0.0) {
+    return shift_;
+  }
+  return shift_ + std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double ShiftedLogNormal::mean() const {
+  return shift_ + std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+ShiftedWeibull::ShiftedWeibull(double shift, double scale, double shape)
+    : shift_(shift), scale_(scale), shape_(shape) {
+  CHRONOS_EXPECTS(shift >= 0.0, "shift must be non-negative");
+  CHRONOS_EXPECTS(scale > 0.0, "scale must be positive");
+  CHRONOS_EXPECTS(shape > 0.0, "shape must be positive");
+}
+
+double ShiftedWeibull::survival(double t) const {
+  if (t <= shift_) {
+    return 1.0;
+  }
+  return std::exp(-std::pow((t - shift_) / scale_, shape_));
+}
+
+double ShiftedWeibull::quantile(double p) const {
+  CHRONOS_EXPECTS(p >= 0.0 && p < 1.0, "quantile requires p in [0, 1)");
+  return shift_ + scale_ * std::pow(-std::log(1.0 - p), 1.0 / shape_);
+}
+
+double ShiftedWeibull::mean() const {
+  return shift_ + scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+ShiftedExponential::ShiftedExponential(double shift, double rate)
+    : shift_(shift), rate_(rate) {
+  CHRONOS_EXPECTS(shift >= 0.0, "shift must be non-negative");
+  CHRONOS_EXPECTS(rate > 0.0, "rate must be positive");
+}
+
+double ShiftedExponential::survival(double t) const {
+  if (t <= shift_) {
+    return 1.0;
+  }
+  return std::exp(-rate_ * (t - shift_));
+}
+
+double ShiftedExponential::quantile(double p) const {
+  CHRONOS_EXPECTS(p >= 0.0 && p < 1.0, "quantile requires p in [0, 1)");
+  return shift_ - std::log(1.0 - p) / rate_;
+}
+
+}  // namespace chronos::stats

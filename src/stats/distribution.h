@@ -1,0 +1,111 @@
+// Generic task-duration distributions.
+//
+// §IV of the paper notes that the PoCD/cost analysis "actually works with
+// other distributions as well". This interface carries exactly what the
+// generic analysis needs — survival function, quantiles, sampling, and the
+// support's lower end — with heavy-tailed and light-tailed implementations
+// for sensitivity studies (bench/ablation_distribution).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "stats/pareto.h"
+
+namespace chronos::stats {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// P(T > t). Must be 1 for t <= lower_bound() and non-increasing.
+  virtual double survival(double t) const = 0;
+
+  /// Inverse CDF; p in [0, 1).
+  virtual double quantile(double p) const = 0;
+
+  /// Start of the support (greatest t with survival(t) == 1).
+  virtual double lower_bound() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// P(T <= t).
+  double cdf(double t) const { return 1.0 - survival(t); }
+
+  /// Inverse-CDF sampling (overridable).
+  virtual double sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+  /// E[T], computed numerically from the survival function by default.
+  virtual double mean() const;
+};
+
+/// Pareto(t_min, beta) — the paper's model.
+class ParetoDistribution final : public Distribution {
+ public:
+  ParetoDistribution(double t_min, double beta) : pareto_(t_min, beta) {}
+  double survival(double t) const override { return pareto_.survival(t); }
+  double quantile(double p) const override { return pareto_.quantile(p); }
+  double lower_bound() const override { return pareto_.t_min(); }
+  double mean() const override { return pareto_.mean(); }
+  std::string name() const override { return "Pareto"; }
+
+ private:
+  Pareto pareto_;
+};
+
+/// t_min + LogNormal(mu, sigma): heavy-ish tail, all moments finite.
+class ShiftedLogNormal final : public Distribution {
+ public:
+  /// Requires shift >= 0, sigma > 0.
+  ShiftedLogNormal(double shift, double mu, double sigma);
+  double survival(double t) const override;
+  double quantile(double p) const override;
+  double lower_bound() const override { return shift_; }
+  double mean() const override;
+  std::string name() const override { return "ShiftedLogNormal"; }
+
+ private:
+  double shift_;
+  double mu_;
+  double sigma_;
+};
+
+/// t_min + Weibull(scale, shape): sub-exponential tail for shape < 1.
+class ShiftedWeibull final : public Distribution {
+ public:
+  /// Requires shift >= 0, scale > 0, shape > 0.
+  ShiftedWeibull(double shift, double scale, double shape);
+  double survival(double t) const override;
+  double quantile(double p) const override;
+  double lower_bound() const override { return shift_; }
+  double mean() const override;
+  std::string name() const override { return "ShiftedWeibull"; }
+
+ private:
+  double shift_;
+  double scale_;
+  double shape_;
+};
+
+/// t_min + Exponential(rate): memoryless light tail.
+class ShiftedExponential final : public Distribution {
+ public:
+  /// Requires shift >= 0, rate > 0.
+  ShiftedExponential(double shift, double rate);
+  double survival(double t) const override;
+  double quantile(double p) const override;
+  double lower_bound() const override { return shift_; }
+  double mean() const override { return shift_ + 1.0 / rate_; }
+  std::string name() const override { return "ShiftedExponential"; }
+
+ private:
+  double shift_;
+  double rate_;
+};
+
+/// Standard normal CDF / quantile helpers used by ShiftedLogNormal.
+double normal_cdf(double z);
+double normal_quantile(double p);
+
+}  // namespace chronos::stats

@@ -1,0 +1,50 @@
+#include "stats/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace chronos::stats {
+
+ParetoFit fit_pareto_mle(std::span<const double> samples) {
+  CHRONOS_EXPECTS(samples.size() >= 2, "fit_pareto_mle needs >= 2 samples");
+  const double t_min = *std::min_element(samples.begin(), samples.end());
+  CHRONOS_EXPECTS(t_min > 0.0, "fit_pareto_mle requires positive samples");
+  double log_sum = 0.0;
+  for (const double x : samples) {
+    log_sum += std::log(x / t_min);
+  }
+  CHRONOS_EXPECTS(log_sum > 0.0,
+                  "fit_pareto_mle requires non-degenerate samples");
+  ParetoFit fit;
+  fit.t_min = t_min;
+  fit.beta = static_cast<double>(samples.size()) / log_sum;
+  fit.beta_stderr = fit.beta / std::sqrt(static_cast<double>(samples.size()));
+  return fit;
+}
+
+double ks_statistic(std::span<const double> samples, const Pareto& model) {
+  CHRONOS_EXPECTS(!samples.empty(), "ks_statistic needs samples");
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = model.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max({d, std::abs(f - lo), std::abs(f - hi)});
+  }
+  return d;
+}
+
+double exceedance_fraction(std::span<const double> samples, double threshold) {
+  CHRONOS_EXPECTS(!samples.empty(), "exceedance_fraction needs samples");
+  const auto count = std::count_if(samples.begin(), samples.end(),
+                                   [&](double x) { return x > threshold; });
+  return static_cast<double>(count) / static_cast<double>(samples.size());
+}
+
+}  // namespace chronos::stats

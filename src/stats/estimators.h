@@ -1,0 +1,30 @@
+// Statistical estimators used to (a) fit the Pareto task-duration model from
+// observed samples (as the paper does on testbed measurements, §VII-A) and
+// (b) test goodness of fit.
+#pragma once
+
+#include <span>
+
+#include "stats/pareto.h"
+
+namespace chronos::stats {
+
+/// Result of a Pareto maximum-likelihood fit.
+struct ParetoFit {
+  double t_min = 0.0;   ///< MLE of scale: sample minimum.
+  double beta = 0.0;    ///< MLE of tail index: n / sum(ln(x_i / t_min)).
+  double beta_stderr = 0.0;  ///< Asymptotic standard error beta / sqrt(n).
+};
+
+/// Fits Pareto(t_min, beta) by maximum likelihood. Requires at least two
+/// samples, all positive, not all equal.
+ParetoFit fit_pareto_mle(std::span<const double> samples);
+
+/// Kolmogorov–Smirnov statistic of `samples` against `model`
+/// (sup-norm distance between empirical and model CDF).
+double ks_statistic(std::span<const double> samples, const Pareto& model);
+
+/// Empirical probability that a sample exceeds `threshold`.
+double exceedance_fraction(std::span<const double> samples, double threshold);
+
+}  // namespace chronos::stats

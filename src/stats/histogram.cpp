@@ -1,0 +1,112 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace chronos::stats {
+
+void IntHistogram::add(long long value, std::uint64_t weight) {
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+std::uint64_t IntHistogram::count(long long value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+long long IntHistogram::min_key() const {
+  CHRONOS_EXPECTS(!counts_.empty(), "min_key on empty histogram");
+  return counts_.begin()->first;
+}
+
+long long IntHistogram::max_key() const {
+  CHRONOS_EXPECTS(!counts_.empty(), "max_key on empty histogram");
+  return counts_.rbegin()->first;
+}
+
+long long IntHistogram::mode() const {
+  CHRONOS_EXPECTS(!counts_.empty(), "mode on empty histogram");
+  long long best_key = counts_.begin()->first;
+  std::uint64_t best = 0;
+  for (const auto& [key, count] : counts_) {
+    if (count > best) {
+      best = count;
+      best_key = key;
+    }
+  }
+  return best_key;
+}
+
+std::vector<std::pair<long long, std::uint64_t>> IntHistogram::items() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+double IntHistogram::fraction(long long value) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count(value)) / static_cast<double>(total_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  CHRONOS_EXPECTS(lo < hi, "Histogram requires lo < hi");
+  CHRONOS_EXPECTS(bins >= 1, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    ++counts_.front();
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    ++counts_.back();
+    return;
+  }
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::size_t>((value - lo_) / width);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  CHRONOS_EXPECTS(i < counts_.size(), "bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lower(std::size_t i) const {
+  CHRONOS_EXPECTS(i < counts_.size(), "bin index out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_upper(std::size_t i) const {
+  return bin_lower(i) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts_[i]) /
+                     static_cast<double>(peak) * static_cast<double>(width)));
+    os << '[';
+    os.precision(4);
+    os << bin_lower(i) << ", " << bin_upper(i) << ") ";
+    os << std::string(bar, '#') << ' ' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace chronos::stats

@@ -1,0 +1,67 @@
+// Fixed-bin and integer histograms. The integer histogram backs Figure 5
+// (distribution of the optimal number of extra attempts r).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chronos::stats {
+
+/// Histogram over integer keys (e.g. optimal r values).
+class IntHistogram {
+ public:
+  void add(long long value, std::uint64_t weight = 1);
+
+  std::uint64_t count(long long value) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Smallest/largest key observed; requires a non-empty histogram.
+  long long min_key() const;
+  long long max_key() const;
+
+  /// Key with the highest count (smallest such key on ties).
+  long long mode() const;
+
+  /// (key, count) pairs in ascending key order.
+  std::vector<std::pair<long long, std::uint64_t>> items() const;
+
+  /// Fraction of mass at `value` in [0, 1]; 0 when empty.
+  double fraction(long long value) const;
+
+ private:
+  std::map<long long, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Equal-width histogram over a [lo, hi) range of doubles.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1. Out-of-range samples are clamped into
+  /// the first/last bin and tracked separately.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const;
+  double bin_lower(std::size_t i) const;
+  double bin_upper(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// Multi-line ASCII rendering (for example binaries).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace chronos::stats

@@ -1,0 +1,185 @@
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "strategies/policies.h"
+
+namespace chronos::strategies {
+
+using mapreduce::SchedulerApi;
+
+int original_active_attempt(SchedulerApi& api, int job, int task) {
+  const auto active = api.active_attempts(job, task);
+  if (active.empty()) {
+    return -1;
+  }
+  int original = active.front();
+  double earliest = api.attempt(job, original).request_time;
+  for (const int id : active) {
+    const double requested = api.attempt(job, id).request_time;
+    if (requested < earliest) {
+      earliest = requested;
+      original = id;
+    }
+  }
+  return original;
+}
+
+namespace {
+
+/// True when the attempt's estimated completion (job-relative) misses the
+/// job deadline; unknown estimates count as stragglers (no progress at
+/// detection time is the worst signal available).
+bool is_straggler(SchedulerApi& api, int job, int attempt_id) {
+  const double estimate = api.estimate_completion(job, attempt_id);
+  if (!std::isfinite(estimate)) {
+    return true;
+  }
+  const auto& record = api.job(job);
+  return estimate - record.submit_time > record.spec.deadline;
+}
+
+/// Incomplete tasks of the requested stage.
+std::vector<int> stage_tasks(SchedulerApi& api, int job, Stage stage) {
+  return stage == Stage::kMap ? api.incomplete_map_tasks(job)
+                              : api.incomplete_reduce_tasks(job);
+}
+
+/// Extra attempts per straggler for the stage (reduce may differ, §III:
+/// the stages are optimized separately).
+long long stage_r(const mapreduce::JobSpec& spec, Stage stage) {
+  return stage == Stage::kMap ? spec.r : spec.effective_reduce_r();
+}
+
+}  // namespace
+
+void Clone::on_job_start(int job, SchedulerApi& api) {
+  // All r+1 copies were launched by the scheduler (initial_attempts); at
+  // tau_kill keep the copy with the best progress score (§III, Fig. 1a).
+  api.schedule_after(api.spec(job).tau_kill, [job, &api] {
+    if (api.job(job).done) {
+      return;
+    }
+    for (const int task : api.incomplete_map_tasks(job)) {
+      api.keep_best_progress(job, task);
+    }
+  });
+}
+
+void Clone::on_reduce_stage_start(int job, SchedulerApi& api) {
+  // The scheduler has just launched r+1 copies of every reduce task; the
+  // reduce-stage kill timer runs relative to the stage start.
+  api.schedule_after(api.spec(job).effective_reduce_tau_kill(),
+                     [job, &api] {
+                       if (api.job(job).done) {
+                         return;
+                       }
+                       for (const int task :
+                            api.incomplete_reduce_tasks(job)) {
+                         api.keep_best_progress(job, task);
+                       }
+                     });
+}
+
+void SpeculativeRestart::on_job_start(int job, SchedulerApi& api) {
+  api.schedule_after(api.spec(job).tau_est, [this, job, &api] {
+    detect(job, Stage::kMap, api);
+  });
+  api.schedule_after(api.spec(job).tau_kill, [this, job, &api] {
+    reap(job, Stage::kMap, api);
+  });
+}
+
+void SpeculativeRestart::on_reduce_stage_start(int job, SchedulerApi& api) {
+  const auto& spec = api.spec(job);
+  api.schedule_after(spec.effective_reduce_tau_est(), [this, job, &api] {
+    detect(job, Stage::kReduce, api);
+  });
+  api.schedule_after(spec.effective_reduce_tau_kill(), [this, job, &api] {
+    reap(job, Stage::kReduce, api);
+  });
+}
+
+void SpeculativeRestart::detect(int job, Stage stage, SchedulerApi& api) {
+  if (api.job(job).done) {
+    return;
+  }
+  const long long extras = stage_r(api.spec(job), stage);
+  for (const int task : stage_tasks(api, job, stage)) {
+    const int original = original_active_attempt(api, job, task);
+    if (original < 0 || !is_straggler(api, job, original)) {
+      continue;
+    }
+    // Launch r fresh copies that restart from byte 0; the original keeps
+    // running (Fig. 1b).
+    for (long long k = 0; k < extras; ++k) {
+      api.launch_extra_attempt(job, task, 0.0);
+    }
+  }
+}
+
+void SpeculativeRestart::reap(int job, Stage stage, SchedulerApi& api) {
+  if (api.job(job).done) {
+    return;
+  }
+  for (const int task : stage_tasks(api, job, stage)) {
+    api.keep_best_estimate(job, task);
+  }
+}
+
+void SpeculativeResume::on_job_start(int job, SchedulerApi& api) {
+  api.schedule_after(api.spec(job).tau_est, [this, job, &api] {
+    detect(job, Stage::kMap, api);
+  });
+  api.schedule_after(api.spec(job).tau_kill, [this, job, &api] {
+    reap(job, Stage::kMap, api);
+  });
+}
+
+void SpeculativeResume::on_reduce_stage_start(int job, SchedulerApi& api) {
+  const auto& spec = api.spec(job);
+  api.schedule_after(spec.effective_reduce_tau_est(), [this, job, &api] {
+    detect(job, Stage::kReduce, api);
+  });
+  api.schedule_after(spec.effective_reduce_tau_kill(), [this, job, &api] {
+    reap(job, Stage::kReduce, api);
+  });
+}
+
+void SpeculativeResume::detect(int job, Stage stage, SchedulerApi& api) {
+  if (api.job(job).done) {
+    return;
+  }
+  const long long extras = stage_r(api.spec(job), stage);
+  for (const int task : stage_tasks(api, job, stage)) {
+    const int original = original_active_attempt(api, job, task);
+    if (original < 0 || !is_straggler(api, job, original)) {
+      continue;
+    }
+    // Work-preserving speculation (Fig. 1c): kill the straggler and launch
+    // r+1 copies that resume from the anticipated byte offset (Eq. 31),
+    // skipping the bytes the original would process during JVM startup.
+    const double offset = api.resume_offset_for(job, original);
+    api.kill_attempt(job, original);
+    if (offset >= 1.0) {
+      // The original would finish during the handover; nothing to resume.
+      // Launch one full copy to guarantee task completion.
+      api.launch_extra_attempt(job, task, 0.0);
+      continue;
+    }
+    for (long long k = 0; k < extras + 1; ++k) {
+      api.launch_extra_attempt(job, task, offset);
+    }
+  }
+}
+
+void SpeculativeResume::reap(int job, Stage stage, SchedulerApi& api) {
+  if (api.job(job).done) {
+    return;
+  }
+  for (const int task : stage_tasks(api, job, stage)) {
+    api.keep_best_estimate(job, task);
+  }
+}
+
+}  // namespace chronos::strategies

@@ -1,0 +1,43 @@
+#include "common/error.h"
+#include "strategies/policies.h"
+
+namespace chronos::strategies {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kHadoopNS:
+      return "Hadoop-NS";
+    case PolicyKind::kHadoopS:
+      return "Hadoop-S";
+    case PolicyKind::kMantri:
+      return "Mantri";
+    case PolicyKind::kClone:
+      return "Clone";
+    case PolicyKind::kSRestart:
+      return "S-Restart";
+    case PolicyKind::kSResume:
+      return "S-Resume";
+  }
+  return "?";
+}
+
+std::unique_ptr<mapreduce::SpeculationPolicy> make_policy(
+    PolicyKind kind, const PolicyOptions& options) {
+  switch (kind) {
+    case PolicyKind::kHadoopNS:
+      return std::make_unique<HadoopNoSpeculation>();
+    case PolicyKind::kHadoopS:
+      return std::make_unique<HadoopSpeculation>(options);
+    case PolicyKind::kMantri:
+      return std::make_unique<Mantri>(options);
+    case PolicyKind::kClone:
+      return std::make_unique<Clone>();
+    case PolicyKind::kSRestart:
+      return std::make_unique<SpeculativeRestart>();
+    case PolicyKind::kSResume:
+      return std::make_unique<SpeculativeResume>();
+  }
+  CHRONOS_ENSURES(false, "unknown policy kind");
+}
+
+}  // namespace chronos::strategies

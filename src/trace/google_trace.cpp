@@ -1,0 +1,85 @@
+#include "trace/google_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chronos::trace {
+
+void TraceConfig::validate() const {
+  CHRONOS_EXPECTS(num_jobs >= 1, "trace needs at least one job");
+  CHRONOS_EXPECTS(duration_hours > 0.0, "duration must be positive");
+  CHRONOS_EXPECTS(mean_tasks >= 1.0, "mean_tasks must be >= 1");
+  CHRONOS_EXPECTS(tasks_log_sigma >= 0.0, "tasks_log_sigma must be >= 0");
+  CHRONOS_EXPECTS(min_tasks >= 1 && max_tasks >= min_tasks,
+                  "invalid task-count clamp range");
+  CHRONOS_EXPECTS(t_min_lo > 0.0 && t_min_hi >= t_min_lo,
+                  "invalid t_min range");
+  CHRONOS_EXPECTS(beta_lo > 1.0 && beta_hi >= beta_lo,
+                  "beta range must lie above 1 (finite mean)");
+  CHRONOS_EXPECTS(deadline_factor_lo > 1.0 &&
+                      deadline_factor_hi >= deadline_factor_lo,
+                  "deadline factors must exceed 1");
+  CHRONOS_EXPECTS(jvm_mean >= 0.0 && jvm_jitter >= 0.0 &&
+                      jvm_jitter <= jvm_mean + 1e-12,
+                  "invalid JVM model");
+}
+
+std::vector<TracedJob> generate_trace(const TraceConfig& config) {
+  config.validate();
+  Rng rng(config.seed);
+  const double horizon = config.duration_hours * 3600.0;
+
+  std::vector<TracedJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+  for (int i = 0; i < config.num_jobs; ++i) {
+    TracedJob job;
+    job.submit_time = rng.uniform(0.0, horizon);
+
+    auto& spec = job.spec;
+    spec.job_id = i;
+
+    // Lognormal task count with the requested mean:
+    // E[exp(mu + sigma Z)] = exp(mu + sigma^2/2) = mean_tasks.
+    const double sigma = config.tasks_log_sigma;
+    const double mu = std::log(config.mean_tasks) - 0.5 * sigma * sigma;
+    const auto tasks =
+        static_cast<int>(std::llround(std::exp(mu + sigma * rng.normal())));
+    spec.num_tasks = std::clamp(tasks, config.min_tasks, config.max_tasks);
+
+    // Per-job duration model: log-uniform scale, uniform tail index.
+    spec.t_min = std::exp(
+        rng.uniform(std::log(config.t_min_lo), std::log(config.t_min_hi)));
+    spec.beta = rng.uniform(config.beta_lo, config.beta_hi);
+
+    const double mean_exec = spec.t_min * spec.beta / (spec.beta - 1.0);
+    const double factor =
+        rng.uniform(config.deadline_factor_lo, config.deadline_factor_hi);
+    spec.deadline = factor * mean_exec;
+
+    spec.jvm_mean = config.jvm_mean;
+    spec.jvm_jitter = config.jvm_jitter;
+    jobs.push_back(job);
+  }
+
+  std::sort(jobs.begin(), jobs.end(),
+            [](const TracedJob& a, const TracedJob& b) {
+              return a.submit_time < b.submit_time;
+            });
+  for (int i = 0; i < config.num_jobs; ++i) {
+    jobs[static_cast<std::size_t>(i)].spec.job_id = i;
+  }
+  return jobs;
+}
+
+std::int64_t total_tasks(const std::vector<TracedJob>& jobs) {
+  std::int64_t total = 0;
+  for (const auto& job : jobs) {
+    total += job.spec.num_tasks;
+  }
+  return total;
+}
+
+}  // namespace chronos::trace

@@ -1,0 +1,62 @@
+#include "trace/harness.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "mapreduce/scheduler.h"
+#include "sim/simulator.h"
+
+namespace chronos::trace {
+
+ExperimentConfig ExperimentConfig::large_scale(
+    strategies::PolicyKind policy, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.policy = policy;
+  config.seed = seed;
+  sim::NodeConfig node;
+  node.containers = 64;
+  config.cluster = sim::ClusterConfig::uniform(64, node);
+  config.scheduler.noise = mapreduce::ProgressNoiseConfig::realistic();
+  config.scheduler.estimator = mapreduce::EstimatorKind::kChronos;
+  return config;
+}
+
+ExperimentConfig ExperimentConfig::testbed(strategies::PolicyKind policy,
+                                           std::uint64_t seed) {
+  ExperimentConfig config;
+  config.policy = policy;
+  config.seed = seed;
+  sim::NodeConfig node;
+  node.containers = 8;  // 8 vCPUs per EC2 node (§VII-A)
+  config.cluster = sim::ClusterConfig::uniform(40, node);
+  config.scheduler.noise = mapreduce::ProgressNoiseConfig::realistic();
+  config.scheduler.estimator = mapreduce::EstimatorKind::kChronos;
+  return config;
+}
+
+ExperimentResult run_experiment(const std::vector<TracedJob>& jobs,
+                                const ExperimentConfig& config) {
+  CHRONOS_EXPECTS(!jobs.empty(), "experiment needs at least one job");
+  sim::Simulator simulator;
+  sim::Cluster cluster(config.cluster);
+  auto policy = strategies::make_policy(config.policy, config.policy_options);
+  mapreduce::Scheduler scheduler(simulator, cluster, *policy,
+                                 config.scheduler, Rng(config.seed));
+
+  for (const auto& job : jobs) {
+    simulator.at(job.submit_time,
+                 [&scheduler, spec = job.spec] { scheduler.submit(spec); });
+  }
+  simulator.run();
+
+  CHRONOS_ENSURES(scheduler.metrics().jobs() == jobs.size(),
+                  "not every job completed");
+  ExperimentResult result;
+  result.policy_name = policy->name();
+  result.metrics = scheduler.metrics();
+  result.events_executed = simulator.events_executed();
+  CHRONOS_LOG(kDebug) << result.policy_name << ": " << jobs.size()
+                      << " jobs, " << result.events_executed << " events";
+  return result;
+}
+
+}  // namespace chronos::trace

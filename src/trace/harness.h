@@ -1,0 +1,51 @@
+// Experiment harness: replays a (planned) trace against the discrete-event
+// cluster under one strategy and collects the §VII metrics. Shared by all
+// bench binaries, the examples, and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/metrics.h"
+#include "strategies/policies.h"
+#include "trace/google_trace.h"
+
+namespace chronos::trace {
+
+struct ExperimentConfig {
+  strategies::PolicyKind policy = strategies::PolicyKind::kHadoopNS;
+  strategies::PolicyOptions policy_options;
+  sim::ClusterConfig cluster;
+  mapreduce::SchedulerConfig scheduler;
+  std::uint64_t seed = 1;
+
+  /// A generously provisioned cluster (no container contention), used for
+  /// the trace-driven simulations of §VII-B.
+  static ExperimentConfig large_scale(strategies::PolicyKind policy,
+                                      std::uint64_t seed = 1);
+
+  /// The 40-node testbed of §VII-A (8 containers per node).
+  static ExperimentConfig testbed(strategies::PolicyKind policy,
+                                  std::uint64_t seed = 1);
+};
+
+struct ExperimentResult {
+  std::string policy_name;
+  sim::RunMetrics metrics;
+  std::uint64_t events_executed = 0;
+
+  double pocd() const { return metrics.pocd(); }
+  double mean_cost() const { return metrics.mean_cost(); }
+  double utility(double theta, double r_min) const {
+    return metrics.utility(theta, r_min);
+  }
+};
+
+/// Runs the whole trace to completion under the configured policy. The
+/// specs must already be planned (plan_trace) for Chronos policies.
+ExperimentResult run_experiment(const std::vector<TracedJob>& jobs,
+                                const ExperimentConfig& config);
+
+}  // namespace chronos::trace

@@ -1,0 +1,168 @@
+#include "trace/planner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace chronos::trace {
+
+core::JobParams to_job_params(const mapreduce::JobSpec& spec,
+                              const PlannerConfig& config,
+                              core::Strategy strategy) {
+  core::JobParams params;
+  params.num_tasks = spec.num_tasks;
+  params.deadline = spec.deadline;
+  params.t_min = spec.t_min;
+  params.beta = spec.beta;
+  params.tau_est = strategy == core::Strategy::kClone
+                       ? 0.0
+                       : config.tau_est_factor * spec.t_min;
+  params.tau_kill = config.tau_kill_factor * spec.t_min;
+  params.phi_est = core::default_phi_est(params);
+  return params;
+}
+
+core::Economics to_economics(const mapreduce::JobSpec& spec,
+                             const PlannerConfig& config, double price) {
+  core::Economics econ;
+  econ.price = price;
+  econ.theta = config.theta;
+  if (config.r_min_from_baseline) {
+    core::JobParams baseline;
+    baseline.num_tasks = spec.num_tasks;
+    baseline.deadline = spec.deadline;
+    baseline.t_min = spec.t_min;
+    baseline.beta = spec.beta;
+    baseline.tau_est = 0.0;
+    baseline.tau_kill = 0.0;
+    baseline.phi_est = 0.0;
+    econ.r_min = core::pocd_no_speculation(baseline);
+  } else {
+    econ.r_min = config.r_min;
+  }
+  return econ;
+}
+
+bool has_analytic_strategy(strategies::PolicyKind kind) {
+  switch (kind) {
+    case strategies::PolicyKind::kClone:
+    case strategies::PolicyKind::kSRestart:
+    case strategies::PolicyKind::kSResume:
+      return true;
+    default:
+      return false;
+  }
+}
+
+core::Strategy analytic_strategy(strategies::PolicyKind kind) {
+  switch (kind) {
+    case strategies::PolicyKind::kClone:
+      return core::Strategy::kClone;
+    case strategies::PolicyKind::kSRestart:
+      return core::Strategy::kSpeculativeRestart;
+    case strategies::PolicyKind::kSResume:
+      return core::Strategy::kSpeculativeResume;
+    default:
+      break;
+  }
+  CHRONOS_EXPECTS(false, "policy has no analytic strategy");
+}
+
+core::OptimizationResult plan_job(TracedJob& job,
+                                  strategies::PolicyKind policy,
+                                  const PlannerConfig& config,
+                                  const SpotPriceModel& prices) {
+  auto& spec = job.spec;
+  spec.price = prices.price_at(job.submit_time);
+
+  if (!has_analytic_strategy(policy)) {
+    spec.r = 0;
+    spec.tau_est = config.tau_est_factor * spec.t_min;
+    spec.tau_kill = config.tau_kill_factor * spec.t_min;
+    return core::OptimizationResult{};
+  }
+
+  const core::Strategy strategy = analytic_strategy(policy);
+  const auto params = to_job_params(spec, config, strategy);
+  const auto econ = to_economics(spec, config, spec.price);
+  auto result = core::optimize(strategy, params, econ, config.optimizer);
+  spec.tau_est = params.tau_est;
+  spec.tau_kill = params.tau_kill;
+  spec.r = result.feasible ? result.r_opt : 1;  // fall back to one copy
+  return result;
+}
+
+void plan_trace(std::vector<TracedJob>& jobs, strategies::PolicyKind policy,
+                const PlannerConfig& config, const SpotPriceModel& prices) {
+  for (auto& job : jobs) {
+    plan_job(job, policy, config, prices);
+  }
+}
+
+double expected_stage_makespan(int num_tasks, double t_min, double beta) {
+  CHRONOS_EXPECTS(num_tasks >= 1, "num_tasks must be >= 1");
+  CHRONOS_EXPECTS(t_min > 0.0 && beta > 1.0,
+                  "makespan requires t_min > 0 and beta > 1");
+  // E[max of N] for Pareto via the Beta-function identity
+  // E[max] = t_min N B(N, 1 - 1/beta).
+  const double n = static_cast<double>(num_tasks);
+  const double a = 1.0 - 1.0 / beta;
+  return t_min * std::exp(std::lgamma(n + 1.0) + std::lgamma(a) -
+                          std::lgamma(n + a));
+}
+
+TwoStagePlan plan_two_stage_job(TracedJob& job,
+                                strategies::PolicyKind policy,
+                                const PlannerConfig& config,
+                                const SpotPriceModel& prices) {
+  auto& spec = job.spec;
+  TwoStagePlan plan;
+  if (spec.reduce_tasks == 0 || !has_analytic_strategy(policy)) {
+    plan.map = plan_job(job, policy, config, prices);
+    plan.map_deadline = spec.deadline;
+    return plan;
+  }
+  spec.price = prices.price_at(job.submit_time);
+  const core::Strategy strategy = analytic_strategy(policy);
+
+  // Split the deadline in proportion to the stages' expected makespans.
+  const double map_span =
+      expected_stage_makespan(spec.num_tasks, spec.t_min, spec.beta);
+  const double reduce_span = expected_stage_makespan(
+      spec.reduce_tasks, spec.effective_reduce_t_min(),
+      spec.effective_reduce_beta());
+  const double share = map_span / (map_span + reduce_span);
+  plan.map_deadline = spec.deadline * share;
+  plan.reduce_deadline = spec.deadline - plan.map_deadline;
+
+  // Map stage.
+  {
+    mapreduce::JobSpec stage = spec;
+    stage.deadline = plan.map_deadline;
+    const auto params = to_job_params(stage, config, strategy);
+    const auto econ = to_economics(stage, config, spec.price);
+    plan.map = core::optimize(strategy, params, econ, config.optimizer);
+    spec.tau_est = params.tau_est;
+    spec.tau_kill = params.tau_kill;
+    spec.r = plan.map.feasible ? plan.map.r_opt : 1;
+  }
+  // Reduce stage: same machinery against the stage's own duration law and
+  // deadline share.
+  {
+    mapreduce::JobSpec stage = spec;
+    stage.num_tasks = spec.reduce_tasks;
+    stage.t_min = spec.effective_reduce_t_min();
+    stage.beta = spec.effective_reduce_beta();
+    stage.deadline = plan.reduce_deadline;
+    const auto params = to_job_params(stage, config, strategy);
+    const auto econ = to_economics(stage, config, spec.price);
+    plan.reduce = core::optimize(strategy, params, econ, config.optimizer);
+    spec.reduce_tau_est = params.tau_est;
+    spec.reduce_tau_kill = params.tau_kill;
+    spec.reduce_r = plan.reduce.feasible ? plan.reduce.r_opt : 1;
+  }
+  return plan;
+}
+
+}  // namespace chronos::trace

@@ -1,0 +1,81 @@
+// Per-job planning: maps a JobSpec onto the analytic model, runs the
+// Algorithm-1 optimizer, and fills the strategy fields (r, tau_est,
+// tau_kill, price) — exactly what the Application Master does at job
+// submission in §VI.
+#pragma once
+
+#include <vector>
+
+#include "core/chronos.h"
+#include "strategies/policies.h"
+#include "trace/google_trace.h"
+#include "trace/spot_price.h"
+
+namespace chronos::trace {
+
+/// Planning knobs shared by an experiment run.
+struct PlannerConfig {
+  /// Strategy timers as multiples of the job's t_min (Tables I/II sweep
+  /// these). Clone uses tau_est = 0 regardless.
+  double tau_est_factor = 0.3;
+  double tau_kill_factor = 0.8;
+  double theta = 1e-4;
+  /// R_min policy: PoCD of the no-speculation baseline (the paper uses
+  /// Hadoop-NS's PoCD as R_min in §VII-A).
+  bool r_min_from_baseline = true;
+  double r_min = 0.0;  ///< used when r_min_from_baseline is false
+  core::OptimizerOptions optimizer;
+};
+
+/// Analytic-model view of one job under a given planner configuration.
+core::JobParams to_job_params(const mapreduce::JobSpec& spec,
+                              const PlannerConfig& config,
+                              core::Strategy strategy);
+
+/// Economics for one job: spot price at submission plus the run's theta and
+/// R_min policy.
+core::Economics to_economics(const mapreduce::JobSpec& spec,
+                             const PlannerConfig& config, double price);
+
+/// Maps a simulator policy to its analytic strategy; only the three Chronos
+/// policies have one.
+bool has_analytic_strategy(strategies::PolicyKind kind);
+core::Strategy analytic_strategy(strategies::PolicyKind kind);
+
+/// Fills spec.price (spot price at submit_time), spec.tau_est/tau_kill, and
+/// — for Chronos policies — spec.r via the Algorithm-1 optimizer. Baseline
+/// policies only get the price. Returns the optimizer result for Chronos
+/// policies (r = 0 result otherwise).
+core::OptimizationResult plan_job(TracedJob& job,
+                                  strategies::PolicyKind policy,
+                                  const PlannerConfig& config,
+                                  const SpotPriceModel& prices);
+
+/// Plans a whole trace in place.
+void plan_trace(std::vector<TracedJob>& jobs, strategies::PolicyKind policy,
+                const PlannerConfig& config, const SpotPriceModel& prices);
+
+/// Expected makespan of N i.i.d. Pareto(t_min, beta) tasks:
+/// E[max] = t_min * Gamma(N+1) Gamma(1 - 1/beta) / Gamma(N+1 - 1/beta).
+/// Requires N >= 1, beta > 1.
+double expected_stage_makespan(int num_tasks, double t_min, double beta);
+
+/// Result of planning a two-stage (map + reduce) job.
+struct TwoStagePlan {
+  double map_deadline = 0.0;     ///< share of the job deadline for maps
+  double reduce_deadline = 0.0;  ///< remainder for the reduce stage
+  core::OptimizationResult map;
+  core::OptimizationResult reduce;
+};
+
+/// Plans a job with reduce_tasks > 0 for a Chronos policy: splits the job
+/// deadline across the stages in proportion to their expected makespans and
+/// optimizes r independently per stage (§III: map and reduce PoCD are
+/// optimized separately). Fills r, reduce_r and both stages' tau fields.
+/// For map-only jobs, falls back to plan_job.
+TwoStagePlan plan_two_stage_job(TracedJob& job,
+                                strategies::PolicyKind policy,
+                                const PlannerConfig& config,
+                                const SpotPriceModel& prices);
+
+}  // namespace chronos::trace

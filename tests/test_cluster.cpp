@@ -1,0 +1,120 @@
+#include "sim/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace chronos::sim {
+namespace {
+
+ClusterConfig two_nodes() {
+  NodeConfig node;
+  node.containers = 2;
+  return ClusterConfig::uniform(2, node);
+}
+
+TEST(Cluster, GrantsImmediatelyWhenIdle) {
+  Cluster cluster(two_nodes());
+  int granted_node = -1;
+  cluster.request_container([&](int node) { granted_node = node; });
+  EXPECT_GE(granted_node, 0);
+  EXPECT_EQ(cluster.busy_containers(), 1);
+  EXPECT_EQ(cluster.idle_containers(), 3);
+}
+
+TEST(Cluster, BalancesAcrossNodes) {
+  Cluster cluster(two_nodes());
+  std::vector<int> nodes;
+  for (int i = 0; i < 4; ++i) {
+    cluster.request_container([&](int node) { nodes.push_back(node); });
+  }
+  // Most-free-first placement alternates between the two nodes.
+  EXPECT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(std::count(nodes.begin(), nodes.end(), 0), 2);
+  EXPECT_EQ(std::count(nodes.begin(), nodes.end(), 1), 2);
+}
+
+TEST(Cluster, QueuesWhenFullAndGrantsFifoOnRelease) {
+  Cluster cluster(two_nodes());
+  std::vector<int> grant_order;
+  for (int i = 0; i < 4; ++i) {
+    cluster.request_container([](int) {});
+  }
+  EXPECT_FALSE(cluster.has_idle_container());
+  cluster.request_container([&](int) { grant_order.push_back(1); });
+  cluster.request_container([&](int) { grant_order.push_back(2); });
+  EXPECT_EQ(cluster.pending_requests(), 2u);
+  cluster.release_container(0);
+  EXPECT_EQ(grant_order, (std::vector<int>{1}));
+  cluster.release_container(1);
+  EXPECT_EQ(grant_order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(cluster.pending_requests(), 0u);
+}
+
+TEST(Cluster, ReleaseWithoutBusyThrows) {
+  Cluster cluster(two_nodes());
+  EXPECT_THROW(cluster.release_container(0), PreconditionError);
+  EXPECT_THROW(cluster.release_container(7), PreconditionError);
+}
+
+TEST(Cluster, CountsStayConsistent) {
+  Cluster cluster(two_nodes());
+  EXPECT_EQ(cluster.total_containers(), 4);
+  std::vector<int> nodes;
+  for (int i = 0; i < 3; ++i) {
+    cluster.request_container([&](int n) { nodes.push_back(n); });
+  }
+  EXPECT_EQ(cluster.busy_containers(), 3);
+  cluster.release_container(nodes[0]);
+  EXPECT_EQ(cluster.busy_containers(), 2);
+  EXPECT_EQ(cluster.idle_containers(), 2);
+}
+
+TEST(Cluster, SlowdownIsInverseSpeedWithoutNoise) {
+  NodeConfig fast;
+  fast.speed = 2.0;
+  Cluster cluster(ClusterConfig::uniform(1, fast));
+  Rng rng(1);
+  EXPECT_NEAR(cluster.sample_slowdown(0, rng), 0.5, 1e-12);
+  EXPECT_NEAR(cluster.node_speed(0), 2.0, 1e-12);
+}
+
+TEST(Cluster, NoiseInflatesSlowdown) {
+  NodeConfig noisy;
+  noisy.noise_mean = 0.5;
+  noisy.noise_sigma = 0.3;
+  Cluster cluster(ClusterConfig::uniform(1, noisy));
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double s = cluster.sample_slowdown(0, rng);
+    EXPECT_GT(s, 1.0);  // contention only ever slows down
+    sum += s;
+  }
+  // Mean slowdown = 1 + noise_mean.
+  EXPECT_NEAR(sum / n, 1.5, 0.01);
+}
+
+TEST(Cluster, RejectsInvalidConfigs) {
+  EXPECT_THROW(Cluster(ClusterConfig{}), PreconditionError);
+  NodeConfig bad;
+  bad.speed = 0.0;
+  EXPECT_THROW(Cluster(ClusterConfig::uniform(1, bad)), PreconditionError);
+  bad = NodeConfig{};
+  bad.containers = 0;
+  EXPECT_THROW(Cluster(ClusterConfig::uniform(1, bad)), PreconditionError);
+  EXPECT_THROW(ClusterConfig::uniform(0, NodeConfig{}), PreconditionError);
+}
+
+TEST(Cluster, NodeIndexValidation) {
+  Cluster cluster(two_nodes());
+  Rng rng(1);
+  EXPECT_THROW(cluster.node_speed(-1), PreconditionError);
+  EXPECT_THROW(cluster.sample_slowdown(2, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace chronos::sim

@@ -1,0 +1,127 @@
+#include "stats/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chronos::stats {
+namespace {
+
+std::vector<std::unique_ptr<Distribution>> all_distributions() {
+  std::vector<std::unique_ptr<Distribution>> dists;
+  dists.push_back(std::make_unique<ParetoDistribution>(30.0, 1.5));
+  dists.push_back(std::make_unique<ShiftedLogNormal>(30.0, 3.5, 0.8));
+  dists.push_back(std::make_unique<ShiftedWeibull>(30.0, 50.0, 0.9));
+  dists.push_back(std::make_unique<ShiftedExponential>(30.0, 0.02));
+  return dists;
+}
+
+TEST(Distribution, SurvivalIsOneBelowLowerBound) {
+  for (const auto& dist : all_distributions()) {
+    EXPECT_EQ(dist->survival(dist->lower_bound()), 1.0) << dist->name();
+    EXPECT_EQ(dist->survival(0.0), 1.0) << dist->name();
+  }
+}
+
+TEST(Distribution, SurvivalNonIncreasing) {
+  for (const auto& dist : all_distributions()) {
+    double prev = 1.0;
+    for (double t = dist->lower_bound(); t < 1000.0; t += 10.0) {
+      const double s = dist->survival(t);
+      EXPECT_LE(s, prev + 1e-12) << dist->name() << " t=" << t;
+      EXPECT_GE(s, 0.0);
+      prev = s;
+    }
+  }
+}
+
+TEST(Distribution, QuantileInvertsSurvival) {
+  for (const auto& dist : all_distributions()) {
+    for (const double p : {0.1, 0.5, 0.9, 0.99}) {
+      const double t = dist->quantile(p);
+      EXPECT_NEAR(dist->cdf(t), p, 1e-6) << dist->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(Distribution, QuantileAtZeroIsLowerBound) {
+  for (const auto& dist : all_distributions()) {
+    EXPECT_NEAR(dist->quantile(0.0), dist->lower_bound(), 1e-9)
+        << dist->name();
+  }
+}
+
+TEST(Distribution, SamplesRespectSupportAndMean) {
+  Rng rng(17);
+  for (const auto& dist : all_distributions()) {
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      const double x = dist->sample(rng);
+      ASSERT_GE(x, dist->lower_bound() - 1e-9) << dist->name();
+      sum += x;
+    }
+    const double mean = dist->mean();
+    if (std::isfinite(mean) && dist->name() != "Pareto") {
+      // Pareto(beta=1.5) has infinite variance: skip the tight check.
+      EXPECT_NEAR(sum / n, mean, 0.05 * mean) << dist->name();
+    }
+  }
+}
+
+TEST(Distribution, NumericMeanMatchesClosedForms) {
+  // The base-class numeric mean must agree with each closed form.
+  const ShiftedExponential expo(30.0, 0.02);
+  EXPECT_NEAR(expo.Distribution::mean(), expo.mean(), 1e-4 * expo.mean());
+  const ShiftedWeibull weibull(30.0, 50.0, 0.9);
+  EXPECT_NEAR(weibull.Distribution::mean(), weibull.mean(),
+              1e-4 * weibull.mean());
+  const ShiftedLogNormal lognormal(30.0, 3.5, 0.8);
+  EXPECT_NEAR(lognormal.Distribution::mean(), lognormal.mean(),
+              1e-3 * lognormal.mean());
+}
+
+TEST(Distribution, ParetoWrapperMatchesPareto) {
+  const ParetoDistribution wrapper(30.0, 1.5);
+  const Pareto direct(30.0, 1.5);
+  for (double t = 30.0; t < 500.0; t += 17.0) {
+    EXPECT_NEAR(wrapper.survival(t), direct.survival(t), 1e-12);
+  }
+  EXPECT_EQ(wrapper.mean(), direct.mean());
+}
+
+TEST(NormalHelpers, CdfQuantileRoundTrip) {
+  for (const double p : {0.001, 0.1, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+  }
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-4);
+  EXPECT_THROW(normal_quantile(0.0), PreconditionError);
+  EXPECT_THROW(normal_quantile(1.0), PreconditionError);
+}
+
+TEST(Distribution, ConstructorPreconditions) {
+  EXPECT_THROW(ShiftedLogNormal(-1.0, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(ShiftedLogNormal(0.0, 0.0, 0.0), PreconditionError);
+  EXPECT_THROW(ShiftedWeibull(0.0, 0.0, 1.0), PreconditionError);
+  EXPECT_THROW(ShiftedWeibull(0.0, 1.0, 0.0), PreconditionError);
+  EXPECT_THROW(ShiftedExponential(0.0, 0.0), PreconditionError);
+}
+
+TEST(Distribution, TailHeavinessOrdering) {
+  // At matched scale, the Pareto tail dominates the lognormal which
+  // dominates the exponential far out in the tail.
+  const ParetoDistribution pareto(30.0, 1.5);
+  const ShiftedLogNormal lognormal(30.0, 3.5, 0.8);
+  const ShiftedExponential expo(30.0, 0.02);
+  EXPECT_GT(pareto.survival(3000.0), lognormal.survival(3000.0));
+  EXPECT_GT(lognormal.survival(3000.0), expo.survival(3000.0));
+}
+
+}  // namespace
+}  // namespace chronos::stats

@@ -1,0 +1,78 @@
+#include "stats/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace chronos::stats {
+namespace {
+
+std::vector<double> sample_pareto(double t_min, double beta, int n,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(rng.pareto(t_min, beta));
+  }
+  return xs;
+}
+
+TEST(FitParetoMle, RecoversParameters) {
+  const auto xs = sample_pareto(2.0, 1.5, 50000, 11);
+  const auto fit = fit_pareto_mle(xs);
+  EXPECT_NEAR(fit.t_min, 2.0, 0.01);
+  EXPECT_NEAR(fit.beta, 1.5, 0.03);
+  EXPECT_NEAR(fit.beta_stderr, fit.beta / std::sqrt(50000.0), 1e-9);
+}
+
+TEST(FitParetoMle, RecoversHeavyTail) {
+  const auto xs = sample_pareto(10.0, 1.1, 50000, 13);
+  const auto fit = fit_pareto_mle(xs);
+  EXPECT_NEAR(fit.beta, 1.1, 0.03);
+}
+
+TEST(FitParetoMle, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_pareto_mle(std::vector<double>{1.0}), PreconditionError);
+  EXPECT_THROW(fit_pareto_mle(std::vector<double>{2.0, 2.0}),
+               PreconditionError);
+  EXPECT_THROW(fit_pareto_mle(std::vector<double>{-1.0, 2.0}),
+               PreconditionError);
+}
+
+TEST(KsStatistic, SmallForTrueModel) {
+  const auto xs = sample_pareto(2.0, 1.5, 20000, 17);
+  const double d = ks_statistic(xs, Pareto(2.0, 1.5));
+  EXPECT_LT(d, 0.02);
+}
+
+TEST(KsStatistic, LargeForWrongModel) {
+  const auto xs = sample_pareto(2.0, 1.5, 20000, 17);
+  const double d = ks_statistic(xs, Pareto(2.0, 3.0));
+  EXPECT_GT(d, 0.1);
+}
+
+TEST(KsStatistic, RejectsEmptySample) {
+  EXPECT_THROW(ks_statistic(std::vector<double>{}, Pareto(1.0, 1.0)),
+               PreconditionError);
+}
+
+TEST(ExceedanceFraction, MatchesSurvival) {
+  const auto xs = sample_pareto(1.0, 2.0, 100000, 19);
+  const Pareto model(1.0, 2.0);
+  EXPECT_NEAR(exceedance_fraction(xs, 3.0), model.survival(3.0), 0.005);
+}
+
+TEST(ExceedanceFraction, BoundaryCases) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_EQ(exceedance_fraction(xs, 0.5), 1.0);
+  EXPECT_EQ(exceedance_fraction(xs, 3.0), 0.0);
+  EXPECT_NEAR(exceedance_fraction(xs, 1.5), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace chronos::stats

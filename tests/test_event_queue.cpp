@@ -1,0 +1,127 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace chronos::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const auto id = q.schedule(1.0, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleEventSkipsIt) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const auto id = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(id);
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  const auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const auto a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, PopReportsScheduledTime) {
+  EventQueue q;
+  q.schedule(4.5, [] {});
+  EXPECT_EQ(q.pop().time, 4.5);
+}
+
+TEST(EventQueue, RejectsInvalidSchedules) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(-1.0, [] {}), PreconditionError);
+  EXPECT_THROW(q.schedule(1.0, std::function<void()>{}), PreconditionError);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), PreconditionError);
+  EXPECT_THROW(q.next_time(), PreconditionError);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  double last = -1.0;
+  for (int i = 0; i < 5000; ++i) {
+    q.schedule(static_cast<double>((i * 7919) % 1000), [] {});
+  }
+  while (!q.empty()) {
+    const auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace chronos::sim

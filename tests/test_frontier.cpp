@@ -1,0 +1,121 @@
+#include "core/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/pocd.h"
+#include "test_util.h"
+
+namespace chronos::core {
+namespace {
+
+using chronos::testing::default_job;
+
+std::vector<FrontierPoint> sample_points() {
+  return enumerate_operating_points(default_job(), 0.4, 8);
+}
+
+TEST(Frontier, EnumeratesAllStrategiesAndR) {
+  const auto points = sample_points();
+  EXPECT_EQ(points.size(), 3u * 9u);
+  int clone = 0;
+  for (const auto& point : points) {
+    EXPECT_GE(point.pocd, 0.0);
+    EXPECT_LE(point.pocd, 1.0);
+    EXPECT_GT(point.cost, 0.0);
+    clone += point.strategy == Strategy::kClone ? 1 : 0;
+  }
+  EXPECT_EQ(clone, 9);
+}
+
+TEST(Frontier, PointsMatchClosedForms) {
+  const auto points = sample_points();
+  for (const auto& point : points) {
+    EXPECT_NEAR(point.pocd,
+                pocd(point.strategy, default_job(),
+                     static_cast<double>(point.r)),
+                1e-12);
+  }
+}
+
+TEST(Frontier, ParetoFrontierIsMonotone) {
+  const auto frontier = pareto_frontier(sample_points());
+  ASSERT_GE(frontier.size(), 2u);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_GT(frontier[i].cost, frontier[i - 1].cost);
+    EXPECT_GT(frontier[i].pocd, frontier[i - 1].pocd);
+  }
+}
+
+TEST(Frontier, FrontierDominatesAllPoints) {
+  const auto points = sample_points();
+  const auto frontier = pareto_frontier(points);
+  for (const auto& point : points) {
+    bool dominated_or_on = false;
+    for (const auto& front : frontier) {
+      if (front.pocd >= point.pocd - 1e-12 &&
+          front.cost <= point.cost + 1e-12) {
+        dominated_or_on = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated_or_on);
+  }
+}
+
+TEST(Frontier, CheapestForTargetIsFeasibleAndMinimal) {
+  const auto points = sample_points();
+  const auto pick = cheapest_for_target(points, 0.95);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_GE(pick->pocd, 0.95);
+  for (const auto& point : points) {
+    if (point.pocd >= 0.95) {
+      EXPECT_LE(pick->cost, point.cost + 1e-12);
+    }
+  }
+}
+
+TEST(Frontier, UnattainableTargetReturnsNullopt) {
+  // r <= 1 with a single strategy's points cannot hit 1 - 1e-15.
+  auto points = enumerate_operating_points(default_job(), 0.4, 0);
+  EXPECT_FALSE(cheapest_for_target(points, 0.999999999).has_value());
+}
+
+TEST(Frontier, BestWithinBudgetMaximizesPocd) {
+  const auto points = sample_points();
+  const double budget = 500.0;
+  const auto pick = best_within_budget(points, budget);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_LE(pick->cost, budget);
+  for (const auto& point : points) {
+    if (point.cost <= budget) {
+      EXPECT_GE(pick->pocd, point.pocd - 1e-12);
+    }
+  }
+}
+
+TEST(Frontier, TinyBudgetReturnsNullopt) {
+  EXPECT_FALSE(best_within_budget(sample_points(), 0.0).has_value());
+}
+
+TEST(Frontier, PreconditionChecks) {
+  EXPECT_THROW(enumerate_operating_points(default_job(), -1.0),
+               PreconditionError);
+  EXPECT_THROW(cheapest_for_target({}, 1.5), PreconditionError);
+  EXPECT_THROW(best_within_budget({}, -1.0), PreconditionError);
+}
+
+TEST(Frontier, SResumeDominatesLowCostRegion) {
+  // S-Resume's work preservation makes it the cheapest way to reach high
+  // PoCD on the default job: the frontier's upper region is S-Resume.
+  const auto frontier = pareto_frontier(sample_points());
+  int resume_points = 0;
+  for (const auto& point : frontier) {
+    resume_points +=
+        point.strategy == Strategy::kSpeculativeResume ? 1 : 0;
+  }
+  EXPECT_GT(resume_points, 0);
+}
+
+}  // namespace
+}  // namespace chronos::core

@@ -1,0 +1,177 @@
+// Distribution-generic analysis: must agree with the Pareto closed forms,
+// with Monte Carlo for other distributions, and preserve the Theorem 7
+// orderings beyond the Pareto case.
+#include "core/generic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+#include "core/cost.h"
+#include "core/pocd.h"
+#include "test_util.h"
+
+namespace chronos::core {
+namespace {
+
+GenericJobParams generic_from(const JobParams& p) {
+  GenericJobParams g;
+  g.num_tasks = p.num_tasks;
+  g.deadline = p.deadline;
+  g.tau_est = p.tau_est;
+  g.tau_kill = p.tau_kill;
+  g.phi_est = p.phi_est;
+  return g;
+}
+
+TEST(Generic, PocdMatchesParetoClosedForms) {
+  const auto p = chronos::testing::default_job();
+  const auto g = generic_from(p);
+  const stats::ParetoDistribution dist(p.t_min, p.beta);
+  for (double r = 0.0; r <= 5.0; r += 1.0) {
+    EXPECT_NEAR(generic_pocd(Strategy::kClone, g, dist, r),
+                pocd_clone(p, r), 1e-10)
+        << "r=" << r;
+    EXPECT_NEAR(generic_pocd(Strategy::kSpeculativeRestart, g, dist, r),
+                pocd_s_restart(p, r), 1e-10)
+        << "r=" << r;
+    EXPECT_NEAR(generic_pocd(Strategy::kSpeculativeResume, g, dist, r),
+                pocd_s_resume(p, r), 1e-10)
+        << "r=" << r;
+  }
+}
+
+TEST(Generic, MachineTimeMatchesParetoClosedForms) {
+  const auto p = chronos::testing::default_job();
+  const auto g = generic_from(p);
+  const stats::ParetoDistribution dist(p.t_min, p.beta);
+  for (double r = 0.0; r <= 4.0; r += 1.0) {
+    EXPECT_NEAR(generic_machine_time(Strategy::kClone, g, dist, r),
+                machine_time_clone(p, r),
+                1e-5 * machine_time_clone(p, r))
+        << "r=" << r;
+    EXPECT_NEAR(
+        generic_machine_time(Strategy::kSpeculativeRestart, g, dist, r),
+        machine_time_s_restart(p, r),
+        1e-5 * machine_time_s_restart(p, r))
+        << "r=" << r;
+    // Generic S-Resume uses the exact winner expectation (see header note).
+    EXPECT_NEAR(
+        generic_machine_time(Strategy::kSpeculativeResume, g, dist, r),
+        machine_time_s_resume_exact(p, r),
+        1e-5 * machine_time_s_resume_exact(p, r))
+        << "r=" << r;
+  }
+}
+
+class GenericMonteCarlo
+    : public ::testing::TestWithParam<std::tuple<Strategy, int>> {};
+
+TEST_P(GenericMonteCarlo, AnalysisMatchesSimulation) {
+  const auto [strategy, dist_index] = GetParam();
+  std::unique_ptr<stats::Distribution> dist;
+  switch (dist_index) {
+    case 0:
+      dist = std::make_unique<stats::ShiftedLogNormal>(30.0, 3.2, 0.9);
+      break;
+    case 1:
+      dist = std::make_unique<stats::ShiftedWeibull>(30.0, 45.0, 0.85);
+      break;
+    default:
+      dist = std::make_unique<stats::ShiftedExponential>(30.0, 0.018);
+      break;
+  }
+  GenericJobParams g;
+  g.num_tasks = 10;
+  g.deadline = 150.0;
+  g.tau_est = 40.0;
+  g.tau_kill = 80.0;
+  g.phi_est = 0.25;
+
+  const long long r = 2;
+  const double pocd =
+      generic_pocd(strategy, g, *dist, static_cast<double>(r));
+  const double machine =
+      generic_machine_time(strategy, g, *dist, static_cast<double>(r));
+  Rng rng(31 + static_cast<std::uint64_t>(dist_index));
+  const auto mc = generic_monte_carlo(strategy, g, *dist, r, 40000, rng);
+  EXPECT_NEAR(mc.pocd, pocd, mc.pocd_ci + 0.005)
+      << dist->name() << " " << to_string(strategy);
+  EXPECT_NEAR(mc.machine_time, machine,
+              5.0 * mc.machine_time_sem + 0.01 * machine)
+      << dist->name() << " " << to_string(strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GenericMonteCarlo,
+    ::testing::Combine(::testing::Values(Strategy::kClone,
+                                         Strategy::kSpeculativeRestart,
+                                         Strategy::kSpeculativeResume),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(Generic, Theorem7OrderingsHoldBeyondPareto) {
+  // Clone > S-Restart and S-Resume > S-Restart at equal r, for every
+  // distribution (the proof only uses survival monotonicity).
+  GenericJobParams g;
+  g.num_tasks = 10;
+  g.deadline = 150.0;
+  g.tau_est = 40.0;
+  g.tau_kill = 80.0;
+  g.phi_est = 0.25;
+  const stats::ShiftedLogNormal lognormal(30.0, 3.2, 0.9);
+  const stats::ShiftedWeibull weibull(30.0, 45.0, 0.85);
+  const stats::ShiftedExponential expo(30.0, 0.018);
+  for (const stats::Distribution* dist :
+       {static_cast<const stats::Distribution*>(&lognormal),
+        static_cast<const stats::Distribution*>(&weibull),
+        static_cast<const stats::Distribution*>(&expo)}) {
+    for (double r = 1.0; r <= 4.0; r += 1.0) {
+      const double clone = generic_pocd(Strategy::kClone, g, *dist, r);
+      const double restart =
+          generic_pocd(Strategy::kSpeculativeRestart, g, *dist, r);
+      const double resume =
+          generic_pocd(Strategy::kSpeculativeResume, g, *dist, r);
+      EXPECT_GT(clone, restart) << dist->name() << " r=" << r;
+      EXPECT_GT(resume, restart) << dist->name() << " r=" << r;
+    }
+  }
+}
+
+TEST(Generic, OptimizeFindsInteriorOptimum) {
+  GenericJobParams g;
+  g.num_tasks = 100;
+  g.deadline = 150.0;
+  g.tau_est = 10.0;
+  g.tau_kill = 25.0;
+  g.phi_est = 0.1;
+  const stats::ShiftedLogNormal dist(30.0, 3.2, 0.9);
+  Economics econ;
+  econ.price = 0.4;
+  econ.theta = 1e-4;
+  econ.r_min = 0.0;
+  const auto best =
+      generic_optimize(Strategy::kSpeculativeResume, g, dist, econ, 32);
+  EXPECT_TRUE(best.feasible);
+  EXPECT_GT(best.r_opt, 0);
+  EXPECT_LT(best.r_opt, 32);
+  // Neighbours are not better.
+  EXPECT_GE(best.utility, generic_utility(Strategy::kSpeculativeResume, g,
+                                          dist, econ, best.r_opt + 1));
+  EXPECT_GE(best.utility, generic_utility(Strategy::kSpeculativeResume, g,
+                                          dist, econ, best.r_opt - 1));
+}
+
+TEST(Generic, ValidateRejectsBadGeometry) {
+  const stats::ParetoDistribution dist(30.0, 1.5);
+  GenericJobParams g;
+  g.num_tasks = 10;
+  g.deadline = 20.0;  // below the lower bound
+  g.tau_est = 0.0;
+  g.tau_kill = 0.0;
+  EXPECT_THROW(generic_pocd(Strategy::kClone, g, dist, 1.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace chronos::core

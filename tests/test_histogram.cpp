@@ -1,0 +1,112 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace chronos::stats {
+namespace {
+
+TEST(IntHistogram, CountsAndTotal) {
+  IntHistogram h;
+  h.add(1);
+  h.add(2);
+  h.add(2);
+  h.add(5, 3);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.count(5), 3u);
+  EXPECT_EQ(h.count(4), 0u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(IntHistogram, MinMaxMode) {
+  IntHistogram h;
+  h.add(3);
+  h.add(-1);
+  h.add(3);
+  h.add(7);
+  EXPECT_EQ(h.min_key(), -1);
+  EXPECT_EQ(h.max_key(), 7);
+  EXPECT_EQ(h.mode(), 3);
+}
+
+TEST(IntHistogram, ModeTieBreaksToSmallestKey) {
+  IntHistogram h;
+  h.add(4);
+  h.add(2);
+  EXPECT_EQ(h.mode(), 2);
+}
+
+TEST(IntHistogram, ItemsSortedByKey) {
+  IntHistogram h;
+  h.add(9);
+  h.add(1);
+  h.add(5);
+  const auto items = h.items();
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].first, 1);
+  EXPECT_EQ(items[1].first, 5);
+  EXPECT_EQ(items[2].first, 9);
+}
+
+TEST(IntHistogram, FractionAndEmptyBehaviour) {
+  IntHistogram h;
+  EXPECT_EQ(h.fraction(1), 0.0);
+  EXPECT_THROW(h.min_key(), PreconditionError);
+  h.add(1);
+  h.add(2);
+  EXPECT_NEAR(h.fraction(1), 0.5, 1e-12);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, OutOfRangeClampedAndTracked) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_NEAR(h.bin_lower(0), 0.0, 1e-12);
+  EXPECT_NEAR(h.bin_upper(0), 2.0, 1e-12);
+  EXPECT_NEAR(h.bin_lower(4), 8.0, 1e-12);
+  EXPECT_NEAR(h.bin_upper(4), 10.0, 1e-12);
+  EXPECT_THROW(h.bin_lower(5), PreconditionError);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronos::stats

@@ -1,0 +1,127 @@
+// End-to-end integration: planned traces replayed through the discrete-event
+// cluster under every strategy, checking the qualitative orderings the paper
+// reports and global simulation invariants.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/harness.h"
+#include "trace/planner.h"
+
+namespace chronos::trace {
+namespace {
+
+using strategies::PolicyKind;
+
+std::vector<TracedJob> small_trace(std::uint64_t seed = 5) {
+  TraceConfig config;
+  config.num_jobs = 120;
+  config.duration_hours = 2.0;
+  config.mean_tasks = 25.0;
+  config.max_tasks = 200;
+  config.seed = seed;
+  return generate_trace(config);
+}
+
+ExperimentResult run_policy(PolicyKind policy, std::uint64_t seed = 5) {
+  auto jobs = small_trace();
+  PlannerConfig planner;
+  const SpotPriceModel prices;
+  plan_trace(jobs, policy, planner, prices);
+  auto config = ExperimentConfig::large_scale(policy, seed);
+  return run_experiment(jobs, config);
+}
+
+TEST(Integration, EveryPolicyCompletesTheTrace) {
+  for (const PolicyKind policy :
+       {PolicyKind::kHadoopNS, PolicyKind::kHadoopS, PolicyKind::kMantri,
+        PolicyKind::kClone, PolicyKind::kSRestart, PolicyKind::kSResume}) {
+    const auto result = run_policy(policy);
+    EXPECT_EQ(result.metrics.jobs(), 120u) << result.policy_name;
+    EXPECT_GT(result.events_executed, 0u);
+  }
+}
+
+TEST(Integration, DeterministicForSameSeed) {
+  const auto a = run_policy(PolicyKind::kSResume, 9);
+  const auto b = run_policy(PolicyKind::kSResume, 9);
+  EXPECT_EQ(a.pocd(), b.pocd());
+  EXPECT_EQ(a.mean_cost(), b.mean_cost());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(Integration, ChronosStrategiesBeatNoSpeculationOnPoCD) {
+  const auto baseline = run_policy(PolicyKind::kHadoopNS);
+  for (const PolicyKind policy :
+       {PolicyKind::kClone, PolicyKind::kSRestart, PolicyKind::kSResume}) {
+    const auto result = run_policy(policy);
+    EXPECT_GT(result.pocd(), baseline.pocd()) << result.policy_name;
+  }
+}
+
+TEST(Integration, CloneCostsMoreThanResume) {
+  // Clone replicates every task; S-Resume only replicates stragglers and
+  // preserves work (Figure 3(b) ordering).
+  const auto clone = run_policy(PolicyKind::kClone);
+  const auto resume = run_policy(PolicyKind::kSResume);
+  EXPECT_GT(clone.mean_cost(), resume.mean_cost());
+}
+
+TEST(Integration, ResumeCheaperThanRestart) {
+  const auto restart = run_policy(PolicyKind::kSRestart);
+  const auto resume = run_policy(PolicyKind::kSResume);
+  EXPECT_LT(resume.mean_cost(), restart.mean_cost());
+}
+
+TEST(Integration, MachineTimeBoundedBelowByWork) {
+  // Every job's machine time is at least num_tasks * t_min: each task needs
+  // at least one attempt processing the whole split.
+  auto jobs = small_trace();
+  PlannerConfig planner;
+  const SpotPriceModel prices;
+  plan_trace(jobs, PolicyKind::kHadoopNS, planner, prices);
+  const auto config =
+      ExperimentConfig::large_scale(PolicyKind::kHadoopNS, 5);
+  const auto result = run_experiment(jobs, config);
+  std::map<int, double> min_work;
+  for (const auto& job : jobs) {
+    min_work[job.spec.job_id] = job.spec.num_tasks * job.spec.t_min;
+  }
+  for (const auto& outcome : result.metrics.outcomes()) {
+    EXPECT_GE(outcome.machine_time, 0.99 * min_work[outcome.job_id]);
+  }
+}
+
+TEST(Integration, TestbedConfigMatchesPaper) {
+  const auto config = ExperimentConfig::testbed(PolicyKind::kClone);
+  EXPECT_EQ(config.cluster.nodes.size(), 40u);
+  EXPECT_EQ(config.cluster.nodes.front().containers, 8);
+}
+
+TEST(Integration, MeetingDeadlineConsistentWithCompletionTime) {
+  const auto result = run_policy(PolicyKind::kSRestart);
+  for (const auto& outcome : result.metrics.outcomes()) {
+    EXPECT_EQ(outcome.met_deadline,
+              outcome.completion_time <= outcome.deadline);
+  }
+}
+
+TEST(Integration, UtilityOrderingFavoursChronosStrategies) {
+  // Net utility with the paper's theta: the three Chronos strategies must
+  // beat Hadoop-S (Figure 2(c) shape). Use the measured Hadoop-NS PoCD as
+  // R_min, offset slightly so every strategy's utility stays finite.
+  const double r_min =
+      std::max(0.0, run_policy(PolicyKind::kHadoopNS).pocd() - 0.05);
+  const double theta = 1e-4;
+  const auto hadoop_s = run_policy(PolicyKind::kHadoopS);
+  for (const PolicyKind policy :
+       {PolicyKind::kClone, PolicyKind::kSRestart, PolicyKind::kSResume}) {
+    const auto result = run_policy(policy);
+    EXPECT_GT(result.utility(theta, r_min),
+              hadoop_s.utility(theta, r_min))
+        << result.policy_name;
+  }
+}
+
+}  // namespace
+}  // namespace chronos::trace

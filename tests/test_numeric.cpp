@@ -1,0 +1,110 @@
+#include "common/numeric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace chronos::numeric {
+namespace {
+
+TEST(Integrate, Polynomial) {
+  // int_0^2 (3x^2 + 1) dx = 8 + 2 = 10.
+  const double v = integrate([](double x) { return 3.0 * x * x + 1.0; }, 0.0,
+                             2.0);
+  EXPECT_NEAR(v, 10.0, 1e-9);
+}
+
+TEST(Integrate, EmptyIntervalIsZero) {
+  EXPECT_EQ(integrate([](double x) { return x; }, 1.0, 1.0), 0.0);
+}
+
+TEST(Integrate, RejectsInvertedInterval) {
+  EXPECT_THROW(integrate([](double x) { return x; }, 2.0, 1.0),
+               PreconditionError);
+}
+
+TEST(Integrate, ExponentialDecay) {
+  // int_0^5 e^-x dx = 1 - e^-5.
+  const double v = integrate([](double x) { return std::exp(-x); }, 0.0, 5.0);
+  EXPECT_NEAR(v, 1.0 - std::exp(-5.0), 1e-9);
+}
+
+TEST(Integrate, OscillatingFunction) {
+  // int_0^pi sin x dx = 2.
+  const double v =
+      integrate([](double x) { return std::sin(x); }, 0.0, std::numbers::pi);
+  EXPECT_NEAR(v, 2.0, 1e-8);
+}
+
+TEST(IntegrateToInfinity, ParetoTail) {
+  // int_a^inf a^b / x^b dx = a / (b - 1) for b > 1, a > 0 (with a = 2,
+  // b = 2.5: 2 / 1.5).
+  const double a = 2.0;
+  const double b = 2.5;
+  const double v = integrate_to_infinity(
+      [&](double x) { return std::pow(a / x, b); }, a);
+  EXPECT_NEAR(v, a / (b - 1.0), 1e-6);
+}
+
+TEST(IntegrateToInfinity, ExponentialTail) {
+  // int_1^inf e^-x dx = e^-1.
+  const double v =
+      integrate_to_infinity([](double x) { return std::exp(-x); }, 1.0);
+  EXPECT_NEAR(v, std::exp(-1.0), 1e-8);
+}
+
+TEST(Derivative, Quadratic) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_NEAR(derivative(f, 3.0), 6.0, 1e-6);
+}
+
+TEST(Derivative, RejectsNonPositiveStep) {
+  EXPECT_THROW(derivative([](double x) { return x; }, 0.0, 0.0),
+               PreconditionError);
+}
+
+TEST(SecondDerivative, Cubic) {
+  const auto f = [](double x) { return x * x * x; };
+  EXPECT_NEAR(second_derivative(f, 2.0), 12.0, 1e-3);
+}
+
+TEST(GoldenSectionMax, Parabola) {
+  const auto f = [](double x) { return -(x - 1.7) * (x - 1.7); };
+  EXPECT_NEAR(golden_section_max(f, -10.0, 10.0), 1.7, 1e-6);
+}
+
+TEST(GoldenSectionMax, BoundaryMaximum) {
+  const auto f = [](double x) { return x; };
+  EXPECT_NEAR(golden_section_max(f, 0.0, 5.0), 5.0, 1e-6);
+}
+
+TEST(TernarySearchMaxInt, Unimodal) {
+  const auto f = [](long long r) {
+    const double x = static_cast<double>(r);
+    return -(x - 37.0) * (x - 37.0);
+  };
+  EXPECT_EQ(ternary_search_max_int(f, 0, 1000), 37);
+}
+
+TEST(TernarySearchMaxInt, MaximumAtBoundary) {
+  const auto f = [](long long r) { return static_cast<double>(r); };
+  EXPECT_EQ(ternary_search_max_int(f, 5, 50), 50);
+  const auto g = [](long long r) { return -static_cast<double>(r); };
+  EXPECT_EQ(ternary_search_max_int(g, 5, 50), 5);
+}
+
+TEST(TernarySearchMaxInt, SingletonRange) {
+  EXPECT_EQ(ternary_search_max_int([](long long) { return 1.0; }, 9, 9), 9);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(approx_equal(1e9, 1e9 * (1.0 + 1e-10)));
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+}
+
+}  // namespace
+}  // namespace chronos::numeric

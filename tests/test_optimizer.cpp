@@ -1,0 +1,169 @@
+// Algorithm 1 (Theorem 9): the hybrid optimizer must return the global
+// optimum; validated against an exhaustive scan over a parameter grid.
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "core/thresholds.h"
+#include "test_util.h"
+
+namespace chronos::core {
+namespace {
+
+using chronos::testing::default_econ;
+using chronos::testing::default_job;
+
+TEST(Optimizer, AgreesWithBruteForceOnDefaultJob) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    const auto fast = optimize(s, p, e);
+    const auto slow = brute_force_optimize(s, p, e);
+    EXPECT_EQ(fast.r_opt, slow.r_opt) << to_string(s);
+    EXPECT_NEAR(fast.best.utility, slow.best.utility, 1e-12) << to_string(s);
+  }
+}
+
+struct GridCase {
+  Strategy strategy;
+  int num_tasks;
+  double beta;
+  double deadline;
+  double theta;
+  double r_min;
+};
+
+class OptimizerGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(OptimizerGrid, MatchesBruteForce) {
+  const auto& c = GetParam();
+  auto p = default_job();
+  p.num_tasks = c.num_tasks;
+  p.beta = c.beta;
+  p.deadline = c.deadline;
+  auto e = default_econ();
+  e.theta = c.theta;
+  e.r_min = c.r_min;
+  OptimizerOptions options;
+  options.max_r = 512;
+
+  const auto fast = optimize(c.strategy, p, e, options);
+  const auto slow = brute_force_optimize(c.strategy, p, e, options);
+  EXPECT_EQ(fast.feasible, slow.feasible);
+  if (fast.feasible) {
+    // Utilities must match exactly (same global optimum); r may only differ
+    // on exact ties.
+    EXPECT_NEAR(fast.best.utility, slow.best.utility, 1e-10)
+        << to_string(c.strategy) << " N=" << c.num_tasks
+        << " beta=" << c.beta << " D=" << c.deadline
+        << " theta=" << c.theta << " rmin=" << c.r_min
+        << " fast r=" << fast.r_opt << " slow r=" << slow.r_opt;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OptimizerGrid,
+    ::testing::ValuesIn([] {
+      std::vector<GridCase> cases;
+      for (const Strategy s :
+           {Strategy::kClone, Strategy::kSpeculativeRestart,
+            Strategy::kSpeculativeResume}) {
+        for (const int n : {1, 10, 200}) {
+          for (const double beta : {1.2, 1.6}) {
+            for (const double d : {95.0, 150.0}) {
+              for (const double theta : {1e-6, 1e-4, 1e-3}) {
+                for (const double r_min : {0.0, 0.5}) {
+                  cases.push_back(GridCase{s, n, beta, d, theta, r_min});
+                }
+              }
+            }
+          }
+        }
+      }
+      return cases;
+    }()));
+
+TEST(Optimizer, FewerEvaluationsThanBruteForce) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  OptimizerOptions options;
+  options.max_r = 4096;
+  const auto fast = optimize(Strategy::kClone, p, e, options);
+  EXPECT_LT(fast.evaluations, 200);
+}
+
+TEST(Optimizer, InfeasibleWhenRminUnreachable) {
+  auto p = default_job();
+  auto e = default_econ();
+  // PoCD can approach 1 but never reach it; r_min extremely close to 1 with
+  // a small max_r makes the problem infeasible.
+  e.r_min = 1.0 - 1e-15;
+  OptimizerOptions options;
+  options.max_r = 2;
+  const auto result = optimize(Strategy::kSpeculativeRestart, p, e, options);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.r_opt, 0);
+  EXPECT_TRUE(std::isinf(result.best.utility));
+}
+
+TEST(Optimizer, HighThetaPushesRToZero) {
+  const auto p = default_job();
+  auto e = default_econ();
+  e.theta = 10.0;  // cost utterly dominates
+  const auto result = optimize(Strategy::kClone, p, e);
+  EXPECT_EQ(result.r_opt, 0);
+}
+
+TEST(Optimizer, LowThetaPushesRUp) {
+  const auto p = default_job();
+  auto low = default_econ();
+  low.theta = 1e-6;
+  auto high = default_econ();
+  high.theta = 1e-3;
+  const auto r_low = optimize(Strategy::kClone, p, low).r_opt;
+  const auto r_high = optimize(Strategy::kClone, p, high).r_opt;
+  EXPECT_GE(r_low, r_high);
+  EXPECT_GT(r_low, 0);
+}
+
+TEST(Optimizer, GammaReportedMatchesThreshold) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  const auto result = optimize(Strategy::kClone, p, e);
+  EXPECT_NEAR(result.gamma, gamma_threshold(Strategy::kClone, p), 1e-12);
+}
+
+TEST(Optimizer, RejectsNegativeMaxR) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  OptimizerOptions options;
+  options.max_r = -1;
+  EXPECT_THROW(optimize(Strategy::kClone, p, e, options), PreconditionError);
+}
+
+TEST(OptimizeAll, PicksBestStrategy) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  const auto best = optimize_all(p, e);
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    const auto result = optimize(s, p, e);
+    EXPECT_GE(best.result.best.utility, result.best.utility - 1e-12)
+        << to_string(s);
+  }
+}
+
+TEST(OptimizeAll, ResumeWinsOnDefaultJob) {
+  // S-Resume dominates on PoCD at equal r and is cheaper than S-Restart;
+  // with the default economics it should be the chosen strategy.
+  const auto best = optimize_all(default_job(), default_econ());
+  EXPECT_EQ(best.strategy, Strategy::kSpeculativeResume);
+}
+
+}  // namespace
+}  // namespace chronos::core

@@ -1,0 +1,258 @@
+// Two-stage (map + reduce) jobs: shuffle barrier, per-stage durations,
+// per-stage speculation, and the two-stage planner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "mapreduce/scheduler.h"
+#include "sim/cluster.h"
+#include "sim/simulator.h"
+#include "strategies/policies.h"
+#include "trace/planner.h"
+
+namespace chronos {
+namespace {
+
+using mapreduce::AttemptState;
+using mapreduce::JobSpec;
+using mapreduce::Scheduler;
+using mapreduce::SchedulerConfig;
+
+JobSpec two_stage_job(long long r = 1) {
+  JobSpec spec;
+  spec.num_tasks = 8;
+  spec.reduce_tasks = 4;
+  spec.deadline = 400.0;
+  spec.t_min = 30.0;
+  spec.beta = 1.4;
+  spec.tau_est = 40.0;
+  spec.tau_kill = 80.0;
+  spec.r = r;
+  spec.reduce_t_min = 50.0;
+  spec.reduce_beta = 1.6;
+  spec.reduce_r = 2;
+  spec.reduce_tau_est = 20.0;
+  spec.reduce_tau_kill = 45.0;
+  return spec;
+}
+
+struct StageRun {
+  sim::Simulator simulator;
+  sim::Cluster cluster;
+  std::unique_ptr<mapreduce::SpeculationPolicy> policy;
+  std::unique_ptr<Scheduler> scheduler;
+
+  StageRun(strategies::PolicyKind kind, const JobSpec& spec,
+           std::uint64_t seed = 21)
+      : cluster(sim::ClusterConfig::uniform(8, [] {
+          sim::NodeConfig node;
+          node.containers = 32;
+          return node;
+        }())) {
+    policy = strategies::make_policy(kind);
+    scheduler = std::make_unique<Scheduler>(simulator, cluster, *policy,
+                                            SchedulerConfig{}, Rng(seed));
+    scheduler->submit(spec);
+    simulator.run();
+  }
+
+  const mapreduce::JobRecord& job() const { return scheduler->job(0); }
+};
+
+TEST(TwoStage, SpecInheritanceDefaults) {
+  JobSpec spec = two_stage_job();
+  spec.reduce_t_min = 0.0;
+  spec.reduce_beta = 0.0;
+  spec.reduce_r = -1;
+  spec.reduce_tau_est = -1.0;
+  spec.reduce_tau_kill = -1.0;
+  EXPECT_EQ(spec.effective_reduce_t_min(), spec.t_min);
+  EXPECT_EQ(spec.effective_reduce_beta(), spec.beta);
+  EXPECT_EQ(spec.effective_reduce_r(), spec.r);
+  EXPECT_EQ(spec.effective_reduce_tau_est(), spec.tau_est);
+  EXPECT_EQ(spec.effective_reduce_tau_kill(), spec.tau_kill);
+  EXPECT_EQ(spec.total_tasks(), 12);
+}
+
+TEST(TwoStage, ValidateRejectsBadReduceParams) {
+  JobSpec spec = two_stage_job();
+  spec.reduce_tasks = -1;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec = two_stage_job();
+  spec.reduce_tau_est = 10.0;
+  spec.reduce_tau_kill = 5.0;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+}
+
+TEST(TwoStage, ReduceStartsOnlyAfterAllMapsComplete) {
+  StageRun run(strategies::PolicyKind::kHadoopNS, two_stage_job());
+  const auto& job = run.job();
+  EXPECT_TRUE(job.done);
+  EXPECT_TRUE(job.reduce_started);
+  double last_map_completion = 0.0;
+  for (int t = 0; t < job.spec.num_tasks; ++t) {
+    last_map_completion =
+        std::max(last_map_completion,
+                 job.tasks[static_cast<std::size_t>(t)].completion_time);
+  }
+  EXPECT_NEAR(job.reduce_stage_start - job.submit_time, last_map_completion,
+              1e-9);
+  // Every reduce attempt was requested at or after the barrier.
+  for (const auto& attempt : job.attempts) {
+    if (job.is_reduce_task(attempt.task_index)) {
+      EXPECT_GE(attempt.request_time, job.reduce_stage_start - 1e-9);
+    }
+  }
+}
+
+TEST(TwoStage, CompletionRequiresBothStages) {
+  StageRun run(strategies::PolicyKind::kHadoopNS, two_stage_job());
+  const auto& job = run.job();
+  EXPECT_EQ(job.tasks_completed, 12);
+  double last_reduce = 0.0;
+  for (int t = job.spec.num_tasks; t < job.spec.total_tasks(); ++t) {
+    last_reduce = std::max(
+        last_reduce, job.tasks[static_cast<std::size_t>(t)].completion_time);
+  }
+  EXPECT_NEAR(job.completion_time, last_reduce, 1e-9);
+}
+
+TEST(TwoStage, ReduceDurationsUseReduceParameters) {
+  // Reduce t_min = 50: every reduce attempt runs at least 50 s.
+  StageRun run(strategies::PolicyKind::kHadoopNS, two_stage_job());
+  const auto& job = run.job();
+  for (const auto& attempt : job.attempts) {
+    if (job.is_reduce_task(attempt.task_index) &&
+        attempt.state == AttemptState::kFinished) {
+      EXPECT_GE(attempt.end_time - attempt.launch_time, 50.0 - 1e-9);
+    }
+  }
+}
+
+TEST(TwoStage, CloneReplicatesBothStages) {
+  StageRun run(strategies::PolicyKind::kClone, two_stage_job(2));
+  const auto& job = run.job();
+  // Map: 8 tasks x (r+1 = 3); reduce: 4 tasks x 3 (initial_attempts uses
+  // spec.r for both stages).
+  EXPECT_EQ(job.attempts_launched, 8 * 3 + 4 * 3);
+  for (int t = 0; t < job.spec.total_tasks(); ++t) {
+    int finished = 0;
+    for (const int id :
+         job.tasks[static_cast<std::size_t>(t)].attempt_ids) {
+      finished += job.attempts[static_cast<std::size_t>(id)].state ==
+                          AttemptState::kFinished
+                      ? 1
+                      : 0;
+    }
+    EXPECT_EQ(finished, 1) << "task " << t;
+  }
+}
+
+TEST(TwoStage, SResumeSpeculatesReduceStragglers) {
+  // Give the reduce stage a tight detection point so stragglers appear.
+  auto spec = two_stage_job(1);
+  spec.deadline = 250.0;
+  int reduce_speculations = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    StageRun run(strategies::PolicyKind::kSResume, spec, seed);
+    const auto& job = run.job();
+    EXPECT_TRUE(job.done);
+    for (int t = job.spec.num_tasks; t < job.spec.total_tasks(); ++t) {
+      reduce_speculations +=
+          job.tasks[static_cast<std::size_t>(t)].extra_attempts_launched;
+    }
+  }
+  EXPECT_GT(reduce_speculations, 0);
+}
+
+TEST(TwoStage, MapOnlyJobsUnaffected) {
+  JobSpec spec = two_stage_job();
+  spec.reduce_tasks = 0;
+  StageRun run(strategies::PolicyKind::kHadoopNS, spec);
+  EXPECT_FALSE(run.job().reduce_started);
+  EXPECT_EQ(run.job().tasks_completed, 8);
+}
+
+TEST(TwoStagePlanner, MakespanFormulaMatchesMonteCarlo) {
+  Rng rng(5);
+  const int n = 50;
+  const double t_min = 30.0;
+  const double beta = 1.6;
+  double sum = 0.0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    double worst = 0.0;
+    for (int t = 0; t < n; ++t) {
+      worst = std::max(worst, rng.pareto(t_min, beta));
+    }
+    sum += worst;
+  }
+  const double expected = trace::expected_stage_makespan(n, t_min, beta);
+  EXPECT_NEAR(sum / trials, expected, 0.05 * expected);
+}
+
+TEST(TwoStagePlanner, MakespanGrowsWithTasksAndTail) {
+  EXPECT_GT(trace::expected_stage_makespan(100, 30.0, 1.5),
+            trace::expected_stage_makespan(10, 30.0, 1.5));
+  EXPECT_GT(trace::expected_stage_makespan(10, 30.0, 1.2),
+            trace::expected_stage_makespan(10, 30.0, 1.8));
+  EXPECT_THROW(trace::expected_stage_makespan(0, 30.0, 1.5),
+               PreconditionError);
+  EXPECT_THROW(trace::expected_stage_makespan(10, 30.0, 1.0),
+               PreconditionError);
+}
+
+TEST(TwoStagePlanner, SplitsDeadlineAndFillsBothStages) {
+  trace::TracedJob job;
+  job.submit_time = 100.0;
+  job.spec = two_stage_job();
+  job.spec.reduce_r = -1;  // let the planner decide
+  job.spec.deadline = 600.0;
+  trace::PlannerConfig config;
+  const trace::SpotPriceModel prices;
+  const auto plan = trace::plan_two_stage_job(
+      job, strategies::PolicyKind::kSResume, config, prices);
+  EXPECT_NEAR(plan.map_deadline + plan.reduce_deadline, 600.0, 1e-9);
+  EXPECT_GT(plan.map_deadline, 0.0);
+  EXPECT_GT(plan.reduce_deadline, 0.0);
+  EXPECT_TRUE(plan.map.feasible);
+  EXPECT_TRUE(plan.reduce.feasible);
+  EXPECT_EQ(job.spec.r, plan.map.r_opt);
+  EXPECT_EQ(job.spec.reduce_r, plan.reduce.r_opt);
+  EXPECT_GE(job.spec.reduce_tau_est, 0.0);
+  EXPECT_GT(job.spec.reduce_tau_kill, job.spec.reduce_tau_est);
+  EXPECT_NO_THROW(job.spec.validate());
+}
+
+TEST(TwoStagePlanner, MapOnlyFallsBackToPlanJob) {
+  trace::TracedJob job;
+  job.submit_time = 0.0;
+  job.spec = two_stage_job();
+  job.spec.reduce_tasks = 0;
+  trace::PlannerConfig config;
+  const trace::SpotPriceModel prices;
+  const auto plan = trace::plan_two_stage_job(
+      job, strategies::PolicyKind::kClone, config, prices);
+  EXPECT_EQ(plan.map_deadline, job.spec.deadline);
+  EXPECT_TRUE(plan.map.feasible);
+}
+
+TEST(TwoStagePlanner, PlannedJobSimulatesEndToEnd) {
+  trace::TracedJob job;
+  job.submit_time = 0.0;
+  job.spec = two_stage_job();
+  job.spec.deadline = 700.0;
+  job.spec.reduce_r = -1;
+  trace::PlannerConfig config;
+  const trace::SpotPriceModel prices;
+  trace::plan_two_stage_job(job, strategies::PolicyKind::kSResume, config,
+                            prices);
+  StageRun run(strategies::PolicyKind::kSResume, job.spec, 99);
+  EXPECT_TRUE(run.job().done);
+  EXPECT_EQ(run.scheduler->metrics().jobs(), 1u);
+}
+
+}  // namespace
+}  // namespace chronos

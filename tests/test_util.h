@@ -1,0 +1,30 @@
+// Shared helpers for the Chronos test suite.
+#pragma once
+
+#include "core/model.h"
+
+namespace chronos::testing {
+
+/// A representative deadline-sensitive job (matches the §VII-A testbed
+/// scale: 10 tasks, 100 s deadline, detection at 40 s, kill at 80 s).
+inline core::JobParams default_job() {
+  core::JobParams params;
+  params.num_tasks = 10;
+  params.deadline = 100.0;
+  params.t_min = 30.0;
+  params.beta = 1.5;
+  params.tau_est = 40.0;
+  params.tau_kill = 80.0;
+  params.phi_est = 0.25;
+  return params;
+}
+
+inline core::Economics default_econ() {
+  core::Economics econ;
+  econ.price = 0.4;
+  econ.theta = 1e-4;
+  econ.r_min = 0.0;
+  return econ;
+}
+
+}  // namespace chronos::testing

@@ -1,0 +1,142 @@
+// Net utility (Eq. 23) and the Theorem-8 concavity thresholds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/cost.h"
+#include "core/pocd.h"
+#include "core/thresholds.h"
+#include "core/utility.h"
+#include "test_util.h"
+
+namespace chronos::core {
+namespace {
+
+using chronos::testing::default_econ;
+using chronos::testing::default_job;
+
+TEST(UtilityShaping, LogBase10) {
+  EXPECT_NEAR(utility_shaping(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(utility_shaping(0.1), -1.0, 1e-12);
+  EXPECT_NEAR(utility_shaping(100.0), 2.0, 1e-12);
+}
+
+TEST(UtilityShaping, NegativeInfinityAtOrBelowZero) {
+  EXPECT_TRUE(std::isinf(utility_shaping(0.0)));
+  EXPECT_LT(utility_shaping(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(utility_shaping(-0.5)));
+}
+
+TEST(EvaluateUtility, CombinesPocdAndCost) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  const auto point = evaluate_utility(Strategy::kClone, p, e, 2.0);
+  EXPECT_NEAR(point.pocd, pocd_clone(p, 2.0), 1e-12);
+  EXPECT_NEAR(point.machine_time, machine_time_clone(p, 2.0), 1e-12);
+  EXPECT_NEAR(point.cost, e.price * point.machine_time, 1e-12);
+  EXPECT_NEAR(point.utility,
+              std::log10(point.pocd - e.r_min) - e.theta * point.cost, 1e-12);
+}
+
+TEST(EvaluateUtility, InfeasibleWhenPocdBelowRmin) {
+  const auto p = default_job();
+  auto e = default_econ();
+  e.r_min = 0.999;  // unreachable with r = 0
+  const auto point = evaluate_utility(Strategy::kClone, p, e, 0.0);
+  EXPECT_TRUE(std::isinf(point.utility));
+  EXPECT_LT(point.utility, 0.0);
+}
+
+TEST(Thresholds, CloneMatchesClosedForm) {
+  const auto p = default_job();
+  const double base = p.t_min / p.deadline;
+  const double expected =
+      -std::log(static_cast<double>(p.num_tasks)) / std::log(base) / p.beta -
+      1.0;
+  EXPECT_NEAR(gamma_clone(p), expected, 1e-12);
+}
+
+TEST(Thresholds, TypicallySmall) {
+  // The paper notes Gamma contains "typically less than 4" integer points.
+  const auto p = default_job();
+  EXPECT_LT(gamma_clone(p), 4.0);
+  EXPECT_LT(gamma_s_restart(p), 4.0);
+  EXPECT_LT(gamma_s_resume(p), 6.0);
+}
+
+TEST(Thresholds, ConcaveStartNonNegative) {
+  const auto p = default_job();
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    EXPECT_GE(concave_start(s, p), 0);
+    EXPECT_GE(static_cast<double>(concave_start(s, p)),
+              gamma_threshold(s, p));
+  }
+}
+
+TEST(Thresholds, DispatchConsistent) {
+  const auto p = default_job();
+  EXPECT_EQ(gamma_threshold(Strategy::kClone, p), gamma_clone(p));
+  EXPECT_EQ(gamma_threshold(Strategy::kSpeculativeRestart, p),
+            gamma_s_restart(p));
+  EXPECT_EQ(gamma_threshold(Strategy::kSpeculativeResume, p),
+            gamma_s_resume(p));
+}
+
+// --- Theorem 8: numerical concavity beyond Gamma ---------------------------
+
+struct ConcavityCase {
+  Strategy strategy;
+  double beta;
+  double deadline;
+  int num_tasks;
+};
+
+class UtilityConcavity : public ::testing::TestWithParam<ConcavityCase> {};
+
+TEST_P(UtilityConcavity, SecondDifferenceNonPositiveBeyondGamma) {
+  const auto& c = GetParam();
+  auto p = default_job();
+  p.beta = c.beta;
+  p.deadline = c.deadline;
+  p.num_tasks = c.num_tasks;
+  auto e = default_econ();
+  e.r_min = 0.0;  // keep the log term finite over the scan
+
+  const long long start = concave_start(c.strategy, p);
+  const auto u = [&](long long r) {
+    return evaluate_utility(c.strategy, p, e, static_cast<double>(r)).utility;
+  };
+  for (long long r = start; r < start + 12; ++r) {
+    const double second = u(r + 2) - 2.0 * u(r + 1) + u(r);
+    EXPECT_LE(second, 1e-7)
+        << to_string(c.strategy) << " r=" << r << " beta=" << c.beta;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UtilityConcavity,
+    ::testing::Values(
+        ConcavityCase{Strategy::kClone, 1.2, 100.0, 10},
+        ConcavityCase{Strategy::kClone, 1.5, 150.0, 50},
+        ConcavityCase{Strategy::kClone, 1.8, 90.0, 200},
+        ConcavityCase{Strategy::kSpeculativeRestart, 1.2, 100.0, 10},
+        ConcavityCase{Strategy::kSpeculativeRestart, 1.5, 150.0, 50},
+        ConcavityCase{Strategy::kSpeculativeRestart, 1.8, 90.0, 200},
+        ConcavityCase{Strategy::kSpeculativeResume, 1.2, 100.0, 10},
+        ConcavityCase{Strategy::kSpeculativeResume, 1.5, 150.0, 50},
+        ConcavityCase{Strategy::kSpeculativeResume, 1.8, 90.0, 200}));
+
+TEST(Utility, LargeDeadlineDrivesOptimalRTowardZero) {
+  // §V: for non-deadline-sensitive jobs the optimal r approaches zero.
+  auto p = default_job();
+  p.deadline = 5000.0;
+  const auto e = default_econ();
+  const double u0 = evaluate_utility(Strategy::kClone, p, e, 0.0).utility;
+  const double u1 = evaluate_utility(Strategy::kClone, p, e, 1.0).utility;
+  EXPECT_GT(u0, u1);
+}
+
+}  // namespace
+}  // namespace chronos::core
