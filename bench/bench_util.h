@@ -1,13 +1,24 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <limits>
+#include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "exp/report.h"
+#include "exp/threadpool.h"
+
 namespace chronos::bench {
+
+/// The fixed-width table printer now lives in exp/report.h so that sweep
+/// reports and the bench binaries share one implementation.
+using Table = exp::Table;
 
 /// Formats a utility that may be -infinity.
 inline std::string fmt_utility(double u) {
@@ -19,50 +30,6 @@ inline std::string fmt_utility(double u) {
   return buffer;
 }
 
-/// Simple fixed-width table printer.
-class Table {
- public:
-  explicit Table(std::vector<std::string> headers)
-      : headers_(std::move(headers)) {}
-
-  void add_row(std::vector<std::string> cells) {
-    rows_.push_back(std::move(cells));
-  }
-
-  void print() const {
-    std::vector<std::size_t> widths(headers_.size());
-    for (std::size_t c = 0; c < headers_.size(); ++c) {
-      widths[c] = headers_[c].size();
-      for (const auto& row : rows_) {
-        if (c < row.size()) {
-          widths[c] = std::max(widths[c], row[c].size());
-        }
-      }
-    }
-    print_row(headers_, widths);
-    std::string rule;
-    for (const auto w : widths) {
-      rule += std::string(w + 2, '-');
-    }
-    std::printf("%s\n", rule.c_str());
-    for (const auto& row : rows_) {
-      print_row(row, widths);
-    }
-  }
-
- private:
-  static void print_row(const std::vector<std::string>& cells,
-                        const std::vector<std::size_t>& widths) {
-    for (std::size_t c = 0; c < cells.size(); ++c) {
-      std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
-    }
-    std::printf("\n");
-  }
-
-  std::vector<std::string> headers_;
-  std::vector<std::vector<std::string>> rows_;
-};
-
 inline std::string fmt(double v, int precision = 3) {
   char buffer[48];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
@@ -70,5 +37,109 @@ inline std::string fmt(double v, int precision = 3) {
 }
 
 inline std::string fmt_int(long long v) { return std::to_string(v); }
+
+/// Flags shared by the sweep-engine bench binaries:
+///   --threads N   worker threads (0 = all hardware threads)
+///   --reps N      replications per cell (0 = binary default)
+///   --csv PATH    also write the aggregated sweep as CSV
+///   --json PATH   also write the aggregated sweep as JSON
+struct SweepCli {
+  int threads = 0;
+  int reps = 0;
+  std::string csv;
+  std::string json;
+};
+
+/// Parses a bounded non-negative integer flag value or exits with usage.
+inline int parse_count(const char* text, const char* flag) {
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || parsed < 0 || parsed > 1000000) {
+    std::fprintf(stderr, "invalid value '%s' for %s\n", text, flag);
+    std::exit(2);
+  }
+  return static_cast<int>(parsed);
+}
+
+inline SweepCli parse_sweep_cli(int argc, char** argv) {
+  SweepCli cli;
+  const auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value after %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      cli.threads = parse_count(value(i), "--threads");
+    } else if (arg == "--reps") {
+      cli.reps = parse_count(value(i), "--reps");
+    } else if (arg == "--csv") {
+      cli.csv = value(i);
+    } else if (arg == "--json") {
+      cli.json = value(i);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// Plans one trace per (policy, axis value) cell across a thread pool and
+/// returns the planned traces keyed by that pair, ready for replications to
+/// share. `plan(policy, value)` must be thread-safe and return the planned
+/// job list for one cell; planning is deterministic, so the parallelism
+/// cannot change results. `threads` <= 0 means all hardware threads; the
+/// pool is clamped to the number of cells.
+template <typename PlanFn>
+std::map<std::pair<strategies::PolicyKind, double>,
+         std::shared_ptr<const std::vector<trace::TracedJob>>>
+parallel_plan_cells(const std::vector<strategies::PolicyKind>& policies,
+                    const std::vector<double>& values, int threads,
+                    PlanFn&& plan) {
+  std::vector<std::pair<strategies::PolicyKind, double>> keys;
+  for (const strategies::PolicyKind policy : policies) {
+    for (const double value : values) {
+      keys.emplace_back(policy, value);
+    }
+  }
+  std::vector<std::shared_ptr<const std::vector<trace::TracedJob>>> slots(
+      keys.size());
+  {
+    int workers = threads > 0 ? threads : exp::ThreadPool::hardware_threads();
+    workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(workers), keys.size()));
+    exp::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      pool.submit([&keys, &slots, &plan, i] {
+        slots[i] = std::make_shared<const std::vector<trace::TracedJob>>(
+            plan(keys[i].first, keys[i].second));
+      });
+    }
+    pool.wait();
+  }
+  std::map<std::pair<strategies::PolicyKind, double>,
+           std::shared_ptr<const std::vector<trace::TracedJob>>>
+      planned;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    planned.emplace(keys[i], std::move(slots[i]));
+  }
+  return planned;
+}
+
+/// Applies the --csv / --json flags to a finished sweep.
+inline void dump_reports(const SweepCli& cli, const exp::SweepResult& result) {
+  if (!cli.csv.empty()) {
+    exp::write_file(cli.csv, exp::to_csv(result));
+    std::printf("\nCSV written to %s\n", cli.csv.c_str());
+  }
+  if (!cli.json.empty()) {
+    exp::write_file(cli.json, exp::to_json(result));
+    std::printf("\nJSON written to %s\n", cli.json.c_str());
+  }
+}
 
 }  // namespace chronos::bench

@@ -1,16 +1,26 @@
 // Figure 2 (a, b, c): PoCD, Cost and Utility of Hadoop-NS, Hadoop-S, Clone,
 // S-Restart and S-Resume on the four benchmarks (Sort, SecondarySort,
-// TeraSort, WordCount).
+// TeraSort, WordCount), driven by the sweep engine over a categorical
+// benchmark axis with replicated cells.
 //
 // Testbed substitute: 40-node / 8-container simulated cluster (§VII-A).
 // 100 jobs of 10 tasks per benchmark; deadlines 100 s (Sort, TeraSort) and
 // 150 s (SecondarySort, WordCount); tau_est = 40 s, tau_kill = 80 s;
 // theta = 1e-4. The optimal r per job is computed with Algorithm 1.
+//
+// R_min for the utility report is the measured Hadoop-NS PoCD per benchmark
+// (paper §VII-A), so utility is derived from the cell aggregates after the
+// sweep; Hadoop-NS itself has utility -inf by construction. Because of this
+// cross-cell dependency the --csv/--json exports carry empty utility
+// columns — Figure 2(c)'s utility lives in the printed table only.
+//
+//   ./fig2_testbed [--threads N] [--reps N] [--csv PATH] [--json PATH]
 #include <cstdio>
-#include <map>
 
 #include "bench_util.h"
 #include "core/chronos.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
 #include "trace/harness.h"
 #include "trace/planner.h"
 #include "trace/spot_price.h"
@@ -18,7 +28,7 @@
 
 namespace {
 
-using namespace chronos;           // NOLINT
+using namespace chronos;  // NOLINT
 using strategies::PolicyKind;
 
 constexpr int kJobs = 100;
@@ -26,6 +36,7 @@ constexpr int kTasksPerJob = 10;
 constexpr double kTauEst = 40.0;
 constexpr double kTauKill = 80.0;
 constexpr double kTheta = 1e-4;
+constexpr int kDefaultReps = 3;
 
 core::JobParams analytic_params(const mapreduce::JobSpec& spec,
                                 core::Strategy strategy) {
@@ -68,49 +79,87 @@ std::vector<trace::TracedJob> make_jobs(const trace::WorkloadProfile& profile,
   return jobs;
 }
 
+/// Utility evaluated on cell means, via the canonical §VII formula.
+double utility_of(const exp::CellAggregate& aggregate, double r_min) {
+  return sim::utility_from(aggregate.pocd.mean, aggregate.cost.mean, kTheta,
+                           r_min);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   const trace::SpotPriceModel prices;
-  const std::vector<PolicyKind> policies = {
-      PolicyKind::kHadoopNS, PolicyKind::kHadoopS, PolicyKind::kClone,
-      PolicyKind::kSRestart, PolicyKind::kSResume};
+  const auto& suite = trace::benchmark_suite();
+
+  exp::Axis benchmarks;
+  benchmarks.name = "benchmark";
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    benchmarks.values.push_back(static_cast<double>(i));
+    benchmarks.labels.push_back(suite[i].name);
+  }
+
+  exp::SweepSpec spec;
+  spec.name = "fig2_testbed";
+  spec.policies = {PolicyKind::kHadoopNS, PolicyKind::kHadoopS,
+                   PolicyKind::kClone, PolicyKind::kSRestart,
+                   PolicyKind::kSResume};
+  spec.axes = {benchmarks};
+  spec.replications = cli.reps > 0 ? cli.reps : kDefaultReps;
+  spec.seed = 17;
+
+  // The job list depends on the cell (policy, benchmark) but not the
+  // replication seed, so build each cell's jobs once in parallel;
+  // replications share it.
+  const auto planned = bench::parallel_plan_cells(
+      spec.policies, benchmarks.values, cli.threads,
+      [&](PolicyKind policy, double b) {
+        return make_jobs(suite[static_cast<std::size_t>(b)], policy, prices);
+      });
+
+  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
+                                       std::uint64_t seed) {
+    exp::CellInstance instance;
+    instance.jobs = planned.at({point.policy, point.value("benchmark")});
+    instance.config = trace::ExperimentConfig::testbed(point.policy, seed);
+    return instance;
+  };
 
   std::printf(
       "Figure 2: PoCD / Cost / Utility per benchmark (testbed simulation)\n"
-      "  %d jobs x %d tasks, tau_est=%.0fs tau_kill=%.0fs theta=%g\n\n",
-      kJobs, kTasksPerJob, kTauEst, kTauKill, kTheta);
+      "  %d jobs x %d tasks, tau_est=%.0fs tau_kill=%.0fs theta=%g; "
+      "%d replications/cell\n\n",
+      kJobs, kTasksPerJob, kTauEst, kTauKill, kTheta, spec.replications);
+
+  const auto result =
+      exp::run_sweep(spec, factory, {.threads = cli.threads});
+
+  // R_min per benchmark: mean Hadoop-NS PoCD of that benchmark's cell.
+  std::vector<double> r_min(suite.size(), 0.0);
+  for (const auto& cell : result.cells) {
+    if (cell.point.policy == PolicyKind::kHadoopNS) {
+      const auto b = static_cast<std::size_t>(cell.point.value("benchmark"));
+      r_min[b] = cell.aggregate.pocd.mean;
+    }
+  }
 
   bench::Table table({"Benchmark", "Strategy", "PoCD", "Cost", "Utility",
                       "mean r"});
-  for (const auto& profile : trace::benchmark_suite()) {
-    // R_min for the utility report: measured Hadoop-NS PoCD (paper §VII-A);
-    // Hadoop-NS itself then has utility -inf by construction.
-    double r_min = 0.0;
-    std::map<PolicyKind, trace::ExperimentResult> results;
-    for (const PolicyKind policy : policies) {
-      auto jobs = make_jobs(profile, policy, prices);
-      auto config = trace::ExperimentConfig::testbed(policy, /*seed=*/17);
-      results.emplace(policy, trace::run_experiment(jobs, config));
-      if (policy == PolicyKind::kHadoopNS) {
-        r_min = results.at(policy).pocd();
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    for (const auto& cell : result.cells) {
+      if (static_cast<std::size_t>(cell.point.value("benchmark")) != b) {
+        continue;
       }
-    }
-    for (const PolicyKind policy : policies) {
-      const auto& result = results.at(policy);
-      double mean_r = 0.0;
-      for (const auto& outcome : result.metrics.outcomes()) {
-        mean_r += static_cast<double>(outcome.r_used);
-      }
-      mean_r /= static_cast<double>(result.metrics.jobs());
-      table.add_row({profile.name, result.policy_name,
-                     bench::fmt(result.pocd()),
-                     bench::fmt(result.mean_cost(), 1),
-                     bench::fmt_utility(result.utility(kTheta, r_min)),
-                     bench::fmt(mean_r, 2)});
+      const auto& agg = cell.aggregate;
+      table.add_row({suite[b].name, cell.policy_name,
+                     bench::fmt(agg.pocd.mean),
+                     bench::fmt(agg.cost.mean, 1),
+                     bench::fmt_utility(utility_of(agg, r_min[b])),
+                     bench::fmt(agg.mean_r.mean, 2)});
     }
   }
   table.print();
+  bench::dump_reports(cli, result);
   std::printf(
       "\nExpected shape (paper): Hadoop-NS lowest PoCD; Clone highest PoCD\n"
       "and highest cost; S-Resume best utility; Chronos strategies beat\n"

@@ -1,12 +1,19 @@
 // Figure 3 (a, b, c): PoCD / Cost / Utility of Mantri, Clone, S-Restart and
 // S-Resume as the tradeoff factor theta sweeps {1e-6, 1e-5, 1e-4, 1e-3}
-// (trace-driven simulation, §VII-B).
+// (trace-driven simulation, §VII-B), now driven by the sweep engine: each
+// (policy, theta) cell is replicated with independent seeds and reported as
+// mean +- 95% CI.
 //
 // Mantri has no notion of theta: its measured PoCD and cost are constant
 // across the sweep (only its reported utility changes).
+//
+//   ./fig3_theta [--threads N] [--reps N] [--csv PATH] [--json PATH]
 #include <cstdio>
 
 #include "bench_util.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "exp/threadpool.h"
 #include "trace/harness.h"
 #include "trace/planner.h"
 
@@ -14,6 +21,8 @@ namespace {
 
 using namespace chronos;  // NOLINT
 using strategies::PolicyKind;
+
+constexpr int kDefaultReps = 3;
 
 std::vector<trace::TracedJob> make_trace() {
   trace::TraceConfig config;
@@ -40,46 +49,56 @@ double mean_baseline_pocd(const std::vector<trace::TracedJob>& jobs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   const trace::SpotPriceModel prices;
   const auto base_jobs = make_trace();
   const double r_min = mean_baseline_pocd(base_jobs);
-  const std::vector<double> thetas = {1e-6, 1e-5, 1e-4, 1e-3};
+
+  exp::SweepSpec spec;
+  spec.name = "fig3_theta";
+  spec.policies = {PolicyKind::kMantri, PolicyKind::kClone,
+                   PolicyKind::kSRestart, PolicyKind::kSResume};
+  spec.axes = {{.name = "theta",
+                .values = {1e-6, 1e-5, 1e-4, 1e-3},
+                .labels = {}}};
+  spec.replications = cli.reps > 0 ? cli.reps : kDefaultReps;
+  spec.seed = 41;
+
+  // Planning depends on the cell (policy, theta) but not the replication
+  // seed, so plan each cell's trace once in parallel; replications share it.
+  const auto planned = bench::parallel_plan_cells(
+      spec.policies, spec.axes[0].values, cli.threads,
+      [&](PolicyKind policy, double theta) {
+        trace::PlannerConfig planner;
+        planner.theta = theta;
+        auto jobs = base_jobs;
+        plan_trace(jobs, policy, planner, prices);
+        return jobs;
+      });
+
+  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
+                                       std::uint64_t seed) {
+    const double theta = point.value("theta");
+    exp::CellInstance instance;
+    instance.jobs = planned.at({point.policy, theta});
+    instance.config = trace::ExperimentConfig::large_scale(point.policy, seed);
+    instance.report_utility = true;
+    instance.theta = theta;
+    instance.r_min = r_min;
+    return instance;
+  };
 
   std::printf(
       "Figure 3: PoCD / Cost / Utility vs tradeoff factor theta\n"
-      "  trace: %zu jobs, %lld tasks; R_min=%.3f\n\n",
+      "  trace: %zu jobs, %lld tasks; R_min=%.3f; %d replications/cell\n\n",
       base_jobs.size(), static_cast<long long>(trace::total_tasks(base_jobs)),
-      r_min);
+      r_min, spec.replications);
 
-  bench::Table table(
-      {"Strategy", "theta", "PoCD", "Cost", "Utility", "mean r"});
-
-  for (const PolicyKind policy :
-       {PolicyKind::kMantri, PolicyKind::kClone, PolicyKind::kSRestart,
-        PolicyKind::kSResume}) {
-    for (const double theta : thetas) {
-      trace::PlannerConfig planner;
-      planner.theta = theta;
-      auto jobs = base_jobs;
-      plan_trace(jobs, policy, planner, prices);
-      auto config = trace::ExperimentConfig::large_scale(policy, 41);
-      const auto result = run_experiment(jobs, config);
-      double mean_r = 0.0;
-      for (const auto& outcome : result.metrics.outcomes()) {
-        mean_r += static_cast<double>(outcome.r_used);
-      }
-      mean_r /= static_cast<double>(result.metrics.jobs());
-      char theta_text[32];
-      std::snprintf(theta_text, sizeof(theta_text), "%g", theta);
-      table.add_row({result.policy_name, theta_text,
-                     bench::fmt(result.pocd()),
-                     bench::fmt(result.mean_cost(), 1),
-                     bench::fmt_utility(result.utility(theta, r_min)),
-                     bench::fmt(mean_r, 2)});
-    }
-  }
-  table.print();
+  const auto result =
+      exp::run_sweep(spec, factory, {.threads = cli.threads});
+  exp::to_table(result).print();
+  bench::dump_reports(cli, result);
   std::printf(
       "\nExpected shape (paper Fig. 3): PoCD and cost of the Chronos\n"
       "strategies decrease as theta grows (smaller optimal r); Mantri's\n"

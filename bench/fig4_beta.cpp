@@ -1,9 +1,18 @@
 // Figure 4 (a, b, c): PoCD / Cost / Utility of Hadoop-NS, Hadoop-S, Clone,
 // S-Restart and S-Resume as the Pareto tail index beta sweeps 1.1 .. 1.9
-// (trace-driven simulation; deadline = 2 x mean task execution time).
+// (trace-driven simulation; deadline = 2 x mean task execution time), now
+// driven by the sweep engine with replicated cells.
+//
+//   ./fig4_beta [--threads N] [--reps N] [--csv PATH] [--json PATH]
+#include <algorithm>
 #include <cstdio>
+#include <map>
+#include <utility>
 
 #include "bench_util.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "exp/threadpool.h"
 #include "trace/harness.h"
 #include "trace/planner.h"
 
@@ -13,6 +22,7 @@ using namespace chronos;  // NOLINT
 using strategies::PolicyKind;
 
 constexpr double kTheta = 1e-4;
+constexpr int kDefaultReps = 3;
 
 std::vector<trace::TracedJob> make_trace(double beta) {
   trace::TraceConfig config;
@@ -41,41 +51,72 @@ double mean_baseline_pocd(const std::vector<trace::TracedJob>& jobs) {
   return sum / static_cast<double>(jobs.size());
 }
 
+/// Per-beta shared inputs, generated once instead of per replication.
+struct BetaTrace {
+  std::vector<trace::TracedJob> jobs;  ///< unplanned base trace
+  double r_min = 0.0;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto cli = bench::parse_sweep_cli(argc, argv);
   const trace::SpotPriceModel prices;
+  const std::vector<double> betas = {1.1, 1.3, 1.5, 1.7, 1.9};
+
+  std::map<double, BetaTrace> traces;
+  for (const double beta : betas) {
+    BetaTrace entry;
+    entry.jobs = make_trace(beta);
+    entry.r_min = mean_baseline_pocd(entry.jobs);
+    traces.emplace(beta, std::move(entry));
+  }
+
+  exp::SweepSpec spec;
+  spec.name = "fig4_beta";
+  spec.policies = {PolicyKind::kHadoopNS, PolicyKind::kHadoopS,
+                   PolicyKind::kClone, PolicyKind::kSRestart,
+                   PolicyKind::kSResume};
+  spec.axes = {{.name = "beta", .values = betas, .labels = {}}};
+  spec.replications = cli.reps > 0 ? cli.reps : kDefaultReps;
+  spec.seed = 43;
+
+  // Planning depends on the cell (policy, beta) but not the replication
+  // seed, so plan each cell's trace once in parallel; replications share it.
+  const auto planned = bench::parallel_plan_cells(
+      spec.policies, betas, cli.threads,
+      [&](PolicyKind policy, double beta) {
+        trace::PlannerConfig planner;
+        planner.theta = kTheta;
+        auto jobs = traces.at(beta).jobs;
+        plan_trace(jobs, policy, planner, prices);
+        return jobs;
+      });
+
+  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
+                                       std::uint64_t seed) {
+    const double beta = point.value("beta");
+    exp::CellInstance instance;
+    instance.jobs = planned.at({point.policy, beta});
+    instance.config = trace::ExperimentConfig::large_scale(point.policy, seed);
+    // Report utility against the analytic no-speculation R_min, slightly
+    // offset so the baselines stay finite when they sit exactly at R_min.
+    instance.report_utility = true;
+    instance.theta = kTheta;
+    instance.r_min = std::max(0.0, traces.at(beta).r_min - 0.05);
+    return instance;
+  };
 
   std::printf(
       "Figure 4: PoCD / Cost / Utility vs Pareto tail index beta\n"
-      "  deadline = 2 x mean task execution time; theta=%g\n\n",
-      kTheta);
+      "  deadline = 2 x mean task execution time; theta=%g; "
+      "%d replications/cell\n\n",
+      kTheta, spec.replications);
 
-  bench::Table table({"beta", "Strategy", "PoCD", "Cost", "Utility"});
-
-  for (double beta = 1.1; beta <= 1.901; beta += 0.2) {
-    const auto base_jobs = make_trace(beta);
-    const double r_min = mean_baseline_pocd(base_jobs);
-    for (const PolicyKind policy :
-         {PolicyKind::kHadoopNS, PolicyKind::kHadoopS, PolicyKind::kClone,
-          PolicyKind::kSRestart, PolicyKind::kSResume}) {
-      trace::PlannerConfig planner;
-      planner.theta = kTheta;
-      auto jobs = base_jobs;
-      plan_trace(jobs, policy, planner, prices);
-      auto config = trace::ExperimentConfig::large_scale(policy, 43);
-      const auto result = run_experiment(jobs, config);
-      // Report utility against the analytic no-speculation R_min, slightly
-      // offset so the baselines stay finite when they sit exactly at R_min.
-      const double report_r_min = std::max(0.0, r_min - 0.05);
-      table.add_row({bench::fmt(beta, 1), result.policy_name,
-                     bench::fmt(result.pocd()),
-                     bench::fmt(result.mean_cost(), 1),
-                     bench::fmt_utility(result.utility(kTheta,
-                                                       report_r_min))});
-    }
-  }
-  table.print();
+  const auto result =
+      exp::run_sweep(spec, factory, {.threads = cli.threads});
+  exp::to_table(result).print();
+  bench::dump_reports(cli, result);
   std::printf(
       "\nExpected shape (paper Fig. 4): cost decreases as beta grows (mean\n"
       "task time t_min*beta/(beta-1) shrinks); the Chronos strategies beat\n"

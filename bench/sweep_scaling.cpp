@@ -1,0 +1,112 @@
+// Multi-core scaling of the sweep engine on a 108-cell grid
+// (3 policies x 3 theta x 4 beta x 3 tau_est factors).
+//
+// Runs the whole grid once at 1 thread and once at --threads (default: all
+// hardware threads), reports the wall-clock speedup and verifies the
+// aggregated CSV output is byte-identical — the engine's determinism
+// guarantee. Exits non-zero if the outputs differ.
+//
+//   ./sweep_scaling [--threads N] [--reps N] [--csv PATH] [--json PATH]
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "bench_util.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "exp/threadpool.h"
+#include "trace/harness.h"
+#include "trace/planner.h"
+
+namespace {
+
+using namespace chronos;  // NOLINT
+using strategies::PolicyKind;
+
+exp::SweepSpec make_spec(int reps) {
+  exp::SweepSpec spec;
+  spec.name = "sweep_scaling";
+  spec.policies = {PolicyKind::kClone, PolicyKind::kSRestart,
+                   PolicyKind::kSResume};
+  spec.axes = {
+      {.name = "theta", .values = {1e-5, 1e-4, 1e-3}, .labels = {}},
+      {.name = "beta", .values = {1.2, 1.4, 1.6, 1.8}, .labels = {}},
+      {.name = "tau_est_factor", .values = {0.2, 0.3, 0.4}, .labels = {}},
+  };
+  spec.replications = reps;
+  spec.seed = 2018;
+  return spec;
+}
+
+exp::CellInstance make_cell(const exp::SweepPoint& point, std::uint64_t seed,
+                            const trace::SpotPriceModel& prices) {
+  trace::TraceConfig trace_config;
+  trace_config.num_jobs = 60;
+  trace_config.duration_hours = 2.0;
+  trace_config.mean_tasks = 40.0;
+  trace_config.max_tasks = 200;
+  trace_config.beta_lo = point.value("beta");
+  trace_config.beta_hi = point.value("beta");
+  trace_config.seed = 7;  // shared base workload; the cell varies the rest
+
+  auto jobs = generate_trace(trace_config);
+  trace::PlannerConfig planner;
+  planner.theta = point.value("theta");
+  planner.tau_est_factor = point.value("tau_est_factor");
+  plan_trace(jobs, point.policy, planner, prices);
+
+  exp::CellInstance instance;
+  instance.set_jobs(std::move(jobs));
+  instance.config = trace::ExperimentConfig::large_scale(point.policy, seed);
+  return instance;
+}
+
+double run_timed(const exp::SweepSpec& spec, const exp::CellFactory& factory,
+                 int threads, exp::SweepResult& result) {
+  const auto start = std::chrono::steady_clock::now();
+  result = exp::run_sweep(spec, factory, {.threads = threads});
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = bench::parse_sweep_cli(argc, argv);
+  const int threads =
+      cli.threads > 0 ? cli.threads : exp::ThreadPool::hardware_threads();
+  const trace::SpotPriceModel prices;
+  const auto spec = make_spec(cli.reps > 0 ? cli.reps : 1);
+  const exp::CellFactory factory = [&prices](const exp::SweepPoint& point,
+                                             std::uint64_t seed) {
+    return make_cell(point, seed, prices);
+  };
+
+  std::printf("sweep_scaling: %zu cells x %d replication(s)\n",
+              spec.num_cells(), spec.replications);
+
+  exp::SweepResult parallel_result;
+  const double parallel_seconds =
+      run_timed(spec, factory, threads, parallel_result);
+  std::printf("  %2d threads: %.3f s\n", threads, parallel_seconds);
+
+  exp::SweepResult serial_result;
+  const double serial_seconds = run_timed(spec, factory, 1, serial_result);
+  std::printf("   1 thread : %.3f s\n", serial_seconds);
+  std::printf("  speedup   : %.2fx\n", serial_seconds / parallel_seconds);
+
+  const std::string parallel_csv = exp::to_csv(parallel_result);
+  const std::string serial_csv = exp::to_csv(serial_result);
+  if (parallel_csv != serial_csv) {
+    std::fprintf(stderr,
+                 "FAIL: aggregated CSV differs between 1 and %d threads\n",
+                 threads);
+    return 1;
+  }
+  std::printf("  output    : byte-identical CSV at both thread counts\n");
+
+  if (!cli.csv.empty() || !cli.json.empty()) {
+    bench::dump_reports(cli, parallel_result);
+  }
+  return 0;
+}

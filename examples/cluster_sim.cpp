@@ -1,15 +1,24 @@
 // Cluster simulation: replay a synthetic Google-style trace through the
 // discrete-event MapReduce cluster under any of the six strategies and
-// report the §VII metrics.
+// report the §VII metrics with confidence intervals.
 //
-//   ./cluster_sim [strategy] [num_jobs] [theta]
+// Runs `reps` independent replications (deterministic seeds derived by the
+// sweep engine) spread across `threads` workers — the simplest use of the
+// src/exp/ engine: a one-cell grid.
+//
+//   ./cluster_sim [strategy] [num_jobs] [theta] [reps] [threads]
 //   strategy in {hadoop-ns, hadoop-s, mantri, clone, s-restart, s-resume}
-//   e.g. ./cluster_sim s-resume 300 1e-4
+//   e.g. ./cluster_sim s-resume 300 1e-4 5 4
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "exp/report.h"
+#include "exp/sweep.h"
 #include "trace/harness.h"
 #include "trace/planner.h"
 
@@ -39,6 +48,9 @@ int main(int argc, char** argv) {
       argc > 1 ? parse_policy(argv[1]) : PolicyKind::kSResume;
   const int num_jobs = argc > 2 ? std::atoi(argv[2]) : 300;
   const double theta = argc > 3 ? std::atof(argv[3]) : 1e-4;
+  const int reps = argc > 4 ? std::max(1, std::atoi(argv[4])) : 5;
+  const int threads =
+      argc > 5 ? std::max(0, std::atoi(argv[5])) : 0;  // 0 = hardware
 
   trace::TraceConfig trace_config;
   trace_config.num_jobs = num_jobs;
@@ -56,10 +68,6 @@ int main(int argc, char** argv) {
               static_cast<long long>(trace::total_tasks(jobs)),
               trace_config.duration_hours);
 
-  const auto config = trace::ExperimentConfig::large_scale(policy);
-  const auto result = run_experiment(jobs, config);
-
-  double mean_r = 0.0;
   double r_min_sum = 0.0;
   for (const auto& job : jobs) {
     core::JobParams params;
@@ -69,28 +77,46 @@ int main(int argc, char** argv) {
     params.beta = job.spec.beta;
     r_min_sum += core::pocd_no_speculation(params);
   }
-  for (const auto& outcome : result.metrics.outcomes()) {
-    mean_r += static_cast<double>(outcome.r_used);
-  }
-  mean_r /= static_cast<double>(result.metrics.jobs());
   const double r_min = r_min_sum / static_cast<double>(jobs.size());
 
-  std::printf("\nStrategy: %s (theta = %g)\n", result.policy_name.c_str(),
-              theta);
-  std::printf("  PoCD            : %.4f +- %.4f\n", result.pocd(),
-              result.metrics.pocd_ci());
-  std::printf("  mean cost       : %.1f per job\n", result.mean_cost());
-  std::printf("  mean machine    : %.1f s per job\n",
-              result.metrics.mean_machine_time());
-  std::printf("  net utility     : %.4f (R_min = %.3f)\n",
-              result.utility(theta, r_min), r_min);
-  std::printf("  mean optimal r  : %.2f\n", mean_r);
+  // One-cell sweep: same planned trace, `reps` independent simulator seeds.
+  exp::SweepSpec spec;
+  spec.name = "cluster_sim";
+  spec.policies = {policy};
+  spec.replications = reps;
+  spec.seed = 1;
+  const auto shared_jobs =
+      std::make_shared<const std::vector<trace::TracedJob>>(std::move(jobs));
+  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
+                                       std::uint64_t seed) {
+    exp::CellInstance instance;
+    instance.jobs = shared_jobs;
+    instance.config =
+        trace::ExperimentConfig::large_scale(point.policy, seed);
+    instance.report_utility = true;
+    instance.theta = theta;
+    instance.r_min = r_min;
+    return instance;
+  };
+  const auto sweep = exp::run_sweep(spec, factory, {.threads = threads});
+  const auto& cell = sweep.cells.front();
+  const auto& agg = cell.aggregate;
+
+  std::printf("\nStrategy: %s (theta = %g, %d replications)\n",
+              cell.policy_name.c_str(), theta, reps);
+  std::printf("  PoCD            : %.4f +- %.4f (95%% CI over reps)\n",
+              agg.pocd.mean, agg.pocd.ci95);
+  std::printf("  mean cost       : %.1f +- %.1f per job\n", agg.cost.mean,
+              agg.cost.ci95);
+  std::printf("  mean machine    : %.1f +- %.1f s per job\n",
+              agg.machine_time.mean, agg.machine_time.ci95);
+  std::printf("  net utility     : %.4f (R_min = %.3f)\n", agg.utility.mean,
+              r_min);
+  std::printf("  mean optimal r  : %.2f\n", agg.mean_r.mean);
   std::printf("  attempts        : %llu launched, %llu killed\n",
-              static_cast<unsigned long long>(
-                  result.metrics.attempts_launched()),
-              static_cast<unsigned long long>(
-                  result.metrics.attempts_killed()));
-  std::printf("  sim events      : %llu\n",
-              static_cast<unsigned long long>(result.events_executed));
+              static_cast<unsigned long long>(agg.attempts_launched),
+              static_cast<unsigned long long>(agg.attempts_killed));
+  std::printf("  sim events      : %llu across %d replication(s)\n",
+              static_cast<unsigned long long>(agg.events_executed), reps);
   return 0;
 }

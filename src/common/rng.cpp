@@ -101,7 +101,9 @@ bool Rng::bernoulli(double p) {
 Rng Rng::split() {
   // Derive a fresh seed from the current stream; splitmix64 reseeding gives
   // decorrelated state words.
-  return Rng((*this)());
+  return Rng(split_seed());
 }
+
+std::uint64_t Rng::split_seed() { return (*this)(); }
 
 }  // namespace chronos

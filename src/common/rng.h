@@ -55,6 +55,12 @@ class Rng {
   /// for simulation purposes (long jump-free split via fresh splitmix chain).
   Rng split();
 
+  /// Seed for a child generator, equivalent to the seed split() would use.
+  /// Lets callers derive reproducible per-worker seed tables up front (the
+  /// sweep engine assigns one seed per cell replication this way, so results
+  /// are identical for any thread count).
+  std::uint64_t split_seed();
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

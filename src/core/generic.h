@@ -12,6 +12,7 @@
 // form, not the paper's Eq. 56 upper bound).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "common/rng.h"

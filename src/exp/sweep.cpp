@@ -1,0 +1,144 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "exp/threadpool.h"
+
+namespace chronos::exp {
+
+namespace {
+
+std::string default_label(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+/// Decodes flat cell index `cell` into a point (policy-major, last axis
+/// fastest, like nested for-loops over policies then axes).
+SweepPoint decode_cell(const SweepSpec& spec, std::size_t cell) {
+  SweepPoint point;
+  point.cell = cell;
+  std::size_t rest = cell;
+  for (std::size_t a = spec.axes.size(); a-- > 0;) {
+    const Axis& axis = spec.axes[a];
+    const std::size_t index = rest % axis.values.size();
+    rest /= axis.values.size();
+    AxisValue coordinate;
+    coordinate.name = axis.name;
+    coordinate.value = axis.values[index];
+    coordinate.label = axis.labels.empty() ? default_label(coordinate.value)
+                                           : axis.labels[index];
+    point.coordinates.insert(point.coordinates.begin(),
+                             std::move(coordinate));
+  }
+  point.policy = spec.policies[rest];
+  return point;
+}
+
+}  // namespace
+
+void Axis::validate() const {
+  CHRONOS_EXPECTS(!name.empty(), "axis needs a name");
+  CHRONOS_EXPECTS(!values.empty(), "axis needs at least one value");
+  CHRONOS_EXPECTS(labels.empty() || labels.size() == values.size(),
+                  "axis labels must parallel its values");
+}
+
+void SweepSpec::validate() const {
+  CHRONOS_EXPECTS(!policies.empty(), "sweep needs at least one policy");
+  CHRONOS_EXPECTS(replications >= 1, "sweep needs at least one replication");
+  for (const Axis& axis : axes) {
+    axis.validate();
+  }
+}
+
+std::size_t SweepSpec::num_cells() const {
+  std::size_t cells = policies.size();
+  for (const Axis& axis : axes) {
+    cells *= axis.values.size();
+  }
+  return cells;
+}
+
+double SweepPoint::value(const std::string& axis) const {
+  for (const AxisValue& coordinate : coordinates) {
+    if (coordinate.name == axis) {
+      return coordinate.value;
+    }
+  }
+  CHRONOS_EXPECTS(false, "sweep point has no axis named '" + axis + "'");
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
+                      const SweepOptions& options) {
+  spec.validate();
+  CHRONOS_EXPECTS(factory != nullptr, "sweep needs a cell factory");
+  CHRONOS_EXPECTS(options.threads >= 0, "threads must be >= 0");
+
+  const std::size_t cells = spec.num_cells();
+  const std::size_t reps = static_cast<std::size_t>(spec.replications);
+
+  // Seeds are derived serially, before any task runs, so the assignment of
+  // seed -> (cell, replication) cannot depend on thread scheduling.
+  Rng master(spec.seed);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(cells * reps);
+  for (std::size_t c = 0; c < cells; ++c) {
+    Rng cell_stream = master.split();
+    for (std::size_t k = 0; k < reps; ++k) {
+      seeds.push_back(cell_stream.split_seed());
+    }
+  }
+
+  // One slot per replication; workers only touch their own slot. Never
+  // spawn more workers than there are replications to run.
+  std::vector<RunRecord> runs(cells * reps);
+  int threads =
+      options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), cells * reps));
+  ThreadPool pool(threads);
+  for (std::size_t c = 0; c < cells; ++c) {
+    const SweepPoint point = decode_cell(spec, c);
+    for (std::size_t k = 0; k < reps; ++k) {
+      const std::size_t slot = c * reps + k;
+      pool.submit([&factory, &runs, &seeds, point, slot] {
+        CellInstance instance = factory(point, seeds[slot]);
+        CHRONOS_EXPECTS(instance.jobs != nullptr,
+                        "cell factory must set CellInstance::jobs");
+        RunRecord& record = runs[slot];
+        record.result = run_experiment(*instance.jobs, instance.config);
+        record.has_utility = instance.report_utility;
+        if (instance.report_utility) {
+          record.utility = record.result.metrics.utility(instance.theta,
+                                                         instance.r_min);
+        }
+      });
+    }
+  }
+  pool.wait();
+
+  SweepResult result;
+  result.name = spec.name;
+  result.replications = spec.replications;
+  for (const Axis& axis : spec.axes) {
+    result.axis_names.push_back(axis.name);
+  }
+  result.cells.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    CellResult cell;
+    cell.point = decode_cell(spec, c);
+    cell.policy_name = strategies::to_string(cell.point.policy);
+    cell.aggregate = aggregate_runs(
+        std::span<const RunRecord>(runs.data() + c * reps, reps));
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+}  // namespace chronos::exp

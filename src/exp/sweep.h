@@ -1,0 +1,121 @@
+// Declarative experiment-sweep engine (the §VII evaluation grid as data).
+//
+// A SweepSpec names the parameter axes, the policies under test and a
+// replication count; the engine expands the cartesian product into cells,
+// derives one deterministic seed per (cell, replication) by splitting a
+// master chronos::Rng, and runs every replication through
+// trace::run_experiment — across a thread pool when asked. Cell results are
+// written into pre-assigned slots, so the aggregated output is identical
+// for any thread count, including 1.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/aggregate.h"
+#include "strategies/policies.h"
+#include "trace/harness.h"
+
+namespace chronos::exp {
+
+/// One named parameter axis. `labels`, when non-empty, must parallel
+/// `values` and replaces them in reports (categorical axes such as
+/// benchmark names).
+struct Axis {
+  std::string name;
+  std::vector<double> values;
+  std::vector<std::string> labels;
+
+  void validate() const;
+};
+
+/// Declarative description of an experiment grid.
+struct SweepSpec {
+  std::string name = "sweep";
+  std::vector<strategies::PolicyKind> policies;
+  std::vector<Axis> axes;  ///< cartesian product; may be empty (one point)
+  int replications = 1;
+  std::uint64_t seed = 1;  ///< master seed; every cell seed derives from it
+
+  void validate() const;
+
+  /// policies.size() x prod(axis sizes); the axes alone contribute one
+  /// point when empty.
+  std::size_t num_cells() const;
+};
+
+/// One resolved axis coordinate of a cell.
+struct AxisValue {
+  std::string name;
+  double value = 0.0;
+  std::string label;  ///< display text: the axis label, or the value
+};
+
+/// One grid cell: a policy plus one value per axis. Cells are numbered in
+/// grid order — policy-major, then axes left to right (last axis fastest).
+struct SweepPoint {
+  std::size_t cell = 0;
+  strategies::PolicyKind policy = strategies::PolicyKind::kHadoopNS;
+  std::vector<AxisValue> coordinates;
+
+  /// Value of the named axis; throws PreconditionError when absent.
+  double value(const std::string& axis) const;
+};
+
+/// Everything the engine needs to run one replication of a cell: planned
+/// jobs plus harness config. When `report_utility` is set the engine also
+/// evaluates metrics.utility(theta, r_min) per run and aggregates it.
+///
+/// `jobs` is shared so that factories which plan a cell's trace once can
+/// hand the same (immutable) trace to every replication without a deep
+/// copy; set_jobs() wraps a freshly built vector.
+struct CellInstance {
+  std::shared_ptr<const std::vector<trace::TracedJob>> jobs;
+  trace::ExperimentConfig config;
+  bool report_utility = false;
+  double theta = 0.0;
+  double r_min = 0.0;
+
+  void set_jobs(std::vector<trace::TracedJob> built) {
+    jobs = std::make_shared<const std::vector<trace::TracedJob>>(
+        std::move(built));
+  }
+};
+
+/// Builds the jobs/config for one replication of `point`. `seed` is that
+/// replication's deterministic seed; factories normally assign it to
+/// `config.seed` (and may also fold it into trace generation). Must be
+/// thread-safe: the engine invokes it concurrently from pool workers.
+using CellFactory =
+    std::function<CellInstance(const SweepPoint& point, std::uint64_t seed)>;
+
+/// Aggregated outcome of one cell.
+struct CellResult {
+  SweepPoint point;
+  std::string policy_name;
+  CellAggregate aggregate;
+};
+
+/// Outcome of a whole sweep, cells in grid order.
+struct SweepResult {
+  std::string name;
+  std::vector<std::string> axis_names;
+  int replications = 0;
+  std::vector<CellResult> cells;
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 means ThreadPool::hardware_threads().
+  int threads = 1;
+};
+
+/// Runs the sweep. The result (and hence any report rendered from it) is
+/// byte-identical for every `options.threads` value.
+SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
+                      const SweepOptions& options = {});
+
+}  // namespace chronos::exp

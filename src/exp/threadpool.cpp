@@ -1,0 +1,102 @@
+#include "exp/threadpool.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace chronos::exp {
+
+ThreadPool::ThreadPool(int num_threads, std::size_t max_pending)
+    : max_pending_(max_pending) {
+  CHRONOS_EXPECTS(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  try {
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread creation failed (e.g. the host's thread limit); shut down the
+    // workers that did start so the error is catchable instead of
+    // std::terminate firing on a joinable std::thread.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto& worker : workers_) {
+      worker.join();
+    }
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  CHRONOS_EXPECTS(task != nullptr, "cannot submit a null task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (max_pending_ > 0) {
+      all_idle_.wait(lock, [this] { return queue_.size() < max_pending_; });
+    }
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  if (first_error_) {
+    auto error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to do
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    // Bounded submitters wake as soon as a slot frees up.
+    all_idle_.notify_all();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    all_idle_.notify_all();
+  }
+}
+
+}  // namespace chronos::exp

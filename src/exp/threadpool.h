@@ -1,0 +1,59 @@
+// Small bounded thread pool for embarrassingly parallel experiment sweeps.
+//
+// Workers are fixed at construction; submit() enqueues a task and wait()
+// blocks until every submitted task has run. An optional queue bound applies
+// backpressure to producers so a fast submitter cannot build an unbounded
+// backlog of captured task state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chronos::exp {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1). When `max_pending` is non-zero,
+  /// submit() blocks while that many tasks are already queued (not yet
+  /// picked up by a worker).
+  explicit ThreadPool(int num_threads, std::size_t max_pending = 0);
+
+  /// Joins all workers; pending tasks still run to completion first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not call submit() or wait() on this pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Rethrows the
+  /// first exception any task raised (remaining tasks still run).
+  void wait();
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;  ///< signals workers
+  std::condition_variable all_idle_;    ///< signals wait() / bounded submit()
+  std::size_t running_ = 0;             ///< tasks currently executing
+  bool stop_ = false;
+  std::size_t max_pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace chronos::exp

@@ -6,6 +6,7 @@
 // and kills or speculates attempts per the active strategy.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "sim/event_queue.h"

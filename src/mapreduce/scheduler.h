@@ -7,6 +7,7 @@
 // are implemented as policies in src/strategies.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>

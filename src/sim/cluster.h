@@ -7,6 +7,7 @@
 // granted as containers free up.
 #pragma once
 
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <vector>

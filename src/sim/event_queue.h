@@ -5,6 +5,7 @@
 // reproducible trace-driven runs.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>

@@ -31,12 +31,17 @@ double RunMetrics::mean_cost() const { return cost_.mean(); }
 
 double RunMetrics::mean_machine_time() const { return machine_time_.mean(); }
 
-double RunMetrics::utility(double theta, double r_min) const {
-  const double margin = pocd() - r_min;
+double utility_from(double pocd, double mean_cost, double theta,
+                    double r_min) {
+  const double margin = pocd - r_min;
   if (margin <= 0.0) {
     return -std::numeric_limits<double>::infinity();
   }
-  return std::log10(margin) - theta * mean_cost();
+  return std::log10(margin) - theta * mean_cost;
+}
+
+double RunMetrics::utility(double theta, double r_min) const {
+  return utility_from(pocd(), mean_cost(), theta, r_min);
 }
 
 }  // namespace chronos::sim

@@ -23,6 +23,13 @@ struct JobOutcome {
   int attempts_failed = 0;  ///< crash-injected failures (retried)
 };
 
+/// Net utility as evaluated in §VII: lg(PoCD - r_min) - theta * mean cost.
+/// Returns -infinity when PoCD <= r_min. The one place the formula lives;
+/// RunMetrics::utility and the figure benches both evaluate it through
+/// here.
+double utility_from(double pocd, double mean_cost, double theta,
+                    double r_min);
+
 /// Aggregates outcomes into the metrics of §VII.
 class RunMetrics {
  public:

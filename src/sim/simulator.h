@@ -1,7 +1,9 @@
 // Simulation clock and event loop.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "sim/event_queue.h"
 

@@ -2,9 +2,11 @@
 // (distribution of the optimal number of extra attempts r).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace chronos::stats {

@@ -6,6 +6,7 @@
 // fixed step grid — deterministic given the seed.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"

@@ -1,0 +1,326 @@
+// Experiment-sweep engine: thread pool behaviour, grid expansion, CI
+// aggregation math, report determinism across thread counts, and the
+// empty/one-cell edge cases.
+#include "exp/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "exp/aggregate.h"
+#include "exp/report.h"
+#include "exp/threadpool.h"
+#include "trace/planner.h"
+
+namespace chronos::exp {
+namespace {
+
+using strategies::PolicyKind;
+
+// --- thread pool ----------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The error is consumed; the pool stays usable.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, BoundedQueueStillRunsEverything) {
+  ThreadPool pool(2, /*max_pending=*/4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, RejectsInvalidArguments) {
+  EXPECT_THROW(ThreadPool(0), PreconditionError);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), PreconditionError);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+// --- summarize / aggregate ------------------------------------------------
+
+TEST(Aggregate, SummarizeMatchesClosedForm) {
+  const std::vector<double> values = {1.0, 2.0, 3.0};
+  const MetricSummary summary = summarize(values);
+  EXPECT_EQ(summary.count, 3u);
+  EXPECT_DOUBLE_EQ(summary.mean, 2.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 1.0);
+  // Student-t interval: t_{0.975, 2} * s / sqrt(n).
+  EXPECT_NEAR(summary.ci95, 4.3027 / std::sqrt(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(summary.min, 1.0);
+  EXPECT_DOUBLE_EQ(summary.max, 3.0);
+}
+
+TEST(Aggregate, SummarizeEdgeCases) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one = {7.0};
+  const MetricSummary summary = summarize(one);
+  EXPECT_EQ(summary.count, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean, 7.0);
+  EXPECT_DOUBLE_EQ(summary.ci95, 0.0);  // no spread estimate from one run
+}
+
+RunRecord synthetic_run(int met, int missed, double cost_per_job) {
+  RunRecord run;
+  for (int i = 0; i < met + missed; ++i) {
+    sim::JobOutcome outcome;
+    outcome.job_id = i;
+    outcome.met_deadline = i < met;
+    outcome.cost = cost_per_job;
+    outcome.machine_time = 2.0 * cost_per_job;
+    outcome.r_used = 2;
+    outcome.attempts_launched = 3;
+    outcome.attempts_killed = 1;
+    run.result.metrics.record(outcome);
+  }
+  return run;
+}
+
+TEST(Aggregate, AggregatesReplicationsOfACell) {
+  std::vector<RunRecord> runs;
+  runs.push_back(synthetic_run(/*met=*/4, /*missed=*/0, /*cost=*/10.0));
+  runs.push_back(synthetic_run(/*met=*/2, /*missed=*/2, /*cost=*/20.0));
+  const CellAggregate aggregate = aggregate_runs(runs);
+
+  EXPECT_EQ(aggregate.runs, 2u);
+  EXPECT_EQ(aggregate.jobs, 8u);
+  EXPECT_DOUBLE_EQ(aggregate.pocd.mean, 0.75);  // (1.0 + 0.5) / 2
+  // Sample stddev of {1.0, 0.5} is 0.25 * sqrt(2); the Student-t interval
+  // is t_{0.975, 1} * s / sqrt(2).
+  EXPECT_NEAR(aggregate.pocd.ci95, 12.706 * 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(aggregate.cost.mean, 15.0);
+  EXPECT_DOUBLE_EQ(aggregate.machine_time.mean, 30.0);
+  EXPECT_DOUBLE_EQ(aggregate.mean_r.mean, 2.0);
+  EXPECT_EQ(aggregate.attempts_launched, 24u);
+  EXPECT_EQ(aggregate.attempts_killed, 8u);
+  EXPECT_EQ(aggregate.utility.count, 0u);  // no run reported a utility
+}
+
+TEST(Aggregate, UtilityOnlyCountsRunsThatReportedOne) {
+  std::vector<RunRecord> runs;
+  runs.push_back(synthetic_run(3, 1, 10.0));
+  runs.back().has_utility = true;
+  runs.back().utility = -0.5;
+  runs.push_back(synthetic_run(3, 1, 10.0));
+  const CellAggregate aggregate = aggregate_runs(runs);
+  EXPECT_EQ(aggregate.utility.count, 1u);
+  EXPECT_DOUBLE_EQ(aggregate.utility.mean, -0.5);
+}
+
+TEST(Aggregate, RejectsEmptyCell) {
+  EXPECT_THROW(aggregate_runs({}), PreconditionError);
+}
+
+// --- spec validation and grid expansion -----------------------------------
+
+TEST(SweepSpec, ValidatesItsInputs) {
+  SweepSpec spec;  // no policies
+  spec.policies.clear();
+  EXPECT_THROW(spec.validate(), PreconditionError);
+
+  spec.policies = {PolicyKind::kHadoopNS};
+  spec.replications = 0;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+
+  spec.replications = 1;
+  spec.axes = {{.name = "theta", .values = {}, .labels = {}}};
+  EXPECT_THROW(spec.validate(), PreconditionError);
+
+  spec.axes = {{.name = "theta", .values = {1.0, 2.0}, .labels = {"one"}}};
+  EXPECT_THROW(spec.validate(), PreconditionError);
+
+  spec.axes = {{.name = "theta", .values = {1.0, 2.0}, .labels = {}}};
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(SweepSpec, CountsCells) {
+  SweepSpec spec;
+  spec.policies = {PolicyKind::kClone, PolicyKind::kSResume};
+  EXPECT_EQ(spec.num_cells(), 2u);  // no axes: one point per policy
+  spec.axes = {{.name = "a", .values = {1, 2, 3}, .labels = {}},
+               {.name = "b", .values = {1, 2}, .labels = {}}};
+  EXPECT_EQ(spec.num_cells(), 12u);
+}
+
+TEST(SweepPoint, UnknownAxisThrows) {
+  SweepPoint point;
+  point.coordinates = {{.name = "theta", .value = 1.0, .label = "1"}};
+  EXPECT_DOUBLE_EQ(point.value("theta"), 1.0);
+  EXPECT_THROW(point.value("beta"), PreconditionError);
+}
+
+// --- running sweeps -------------------------------------------------------
+
+/// Tiny but real experiment: a handful of short jobs on a small cluster.
+CellInstance tiny_cell(const SweepPoint& point, std::uint64_t seed) {
+  trace::TraceConfig config;
+  config.num_jobs = 6;
+  config.duration_hours = 0.2;
+  config.mean_tasks = 4.0;
+  config.max_tasks = 10;
+  config.seed = 5;
+
+  auto jobs = generate_trace(config);
+  trace::PlannerConfig planner;
+  const trace::SpotPriceModel prices;
+  plan_trace(jobs, point.policy, planner, prices);
+
+  CellInstance instance;
+  instance.set_jobs(std::move(jobs));
+  sim::NodeConfig node;
+  node.containers = 4;
+  instance.config.policy = point.policy;
+  instance.config.cluster = sim::ClusterConfig::uniform(4, node);
+  instance.config.seed = seed;
+  return instance;
+}
+
+SweepSpec tiny_spec() {
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.policies = {PolicyKind::kHadoopNS, PolicyKind::kSResume};
+  spec.axes = {{.name = "x", .values = {0.0, 1.0, 2.0}, .labels = {}}};
+  spec.replications = 2;
+  spec.seed = 33;
+  return spec;
+}
+
+TEST(RunSweep, ReportsAreIdenticalForAnyThreadCount) {
+  const SweepSpec spec = tiny_spec();
+  const auto serial = run_sweep(spec, tiny_cell, {.threads = 1});
+  const auto parallel = run_sweep(spec, tiny_cell, {.threads = 8});
+  EXPECT_EQ(to_csv(serial), to_csv(parallel));
+  EXPECT_EQ(to_json(serial), to_json(parallel));
+  EXPECT_EQ(to_table(serial).str(), to_table(parallel).str());
+}
+
+TEST(RunSweep, CellsComeBackInGridOrder) {
+  const auto result = run_sweep(tiny_spec(), tiny_cell, {.threads = 4});
+  ASSERT_EQ(result.cells.size(), 6u);
+  // Policy-major, last axis fastest.
+  EXPECT_EQ(result.cells[0].policy_name, "Hadoop-NS");
+  EXPECT_DOUBLE_EQ(result.cells[0].point.value("x"), 0.0);
+  EXPECT_DOUBLE_EQ(result.cells[2].point.value("x"), 2.0);
+  EXPECT_EQ(result.cells[3].policy_name, "S-Resume");
+  EXPECT_DOUBLE_EQ(result.cells[3].point.value("x"), 0.0);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.aggregate.runs, 2u);
+    EXPECT_EQ(cell.aggregate.jobs, 12u);  // 6 jobs x 2 replications
+  }
+}
+
+TEST(RunSweep, OneCellNoAxes) {
+  SweepSpec spec;
+  spec.name = "one";
+  spec.policies = {PolicyKind::kHadoopNS};
+  spec.replications = 1;
+  const auto result = run_sweep(spec, tiny_cell, {.threads = 1});
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_TRUE(result.axis_names.empty());
+  EXPECT_EQ(result.cells[0].aggregate.runs, 1u);
+  EXPECT_GT(result.cells[0].aggregate.pocd.mean, 0.0);
+}
+
+TEST(RunSweep, EmptySpecThrows) {
+  SweepSpec spec;
+  spec.policies.clear();
+  EXPECT_THROW(run_sweep(spec, tiny_cell, {.threads = 1}),
+               PreconditionError);
+  SweepSpec valid = tiny_spec();
+  EXPECT_THROW(run_sweep(valid, nullptr, {.threads = 1}),
+               PreconditionError);
+}
+
+TEST(RunSweep, ReplicationSeedsAreIndependent) {
+  SweepSpec spec;
+  spec.policies = {PolicyKind::kSResume};
+  spec.replications = 3;
+  spec.seed = 9;
+  const auto result = run_sweep(spec, tiny_cell, {.threads = 2});
+  // Replications used different seeds, so there is run-to-run spread in
+  // machine time (the simulator injects seed-dependent noise).
+  EXPECT_GT(result.cells[0].aggregate.machine_time.stddev, 0.0);
+}
+
+TEST(RunSweep, FactoryErrorsPropagate) {
+  SweepSpec spec = tiny_spec();
+  const CellFactory broken = [](const SweepPoint&,
+                                std::uint64_t) -> CellInstance {
+    throw std::runtime_error("factory exploded");
+  };
+  EXPECT_THROW(run_sweep(spec, broken, {.threads = 2}), std::runtime_error);
+}
+
+// --- reports --------------------------------------------------------------
+
+TEST(Report, CsvShapeAndHeader) {
+  const auto result = run_sweep(tiny_spec(), tiny_cell, {.threads = 2});
+  const std::string csv = to_csv(result);
+  EXPECT_EQ(csv.find("policy,x,replications,pocd_mean,pocd_ci95,"), 0u);
+  // Header + one line per cell, newline-terminated.
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, 1u + result.cells.size());
+  EXPECT_EQ(csv.back(), '\n');
+}
+
+TEST(Report, LabelsReplaceValuesInReports) {
+  SweepSpec spec;
+  spec.policies = {PolicyKind::kHadoopNS};
+  spec.axes = {{.name = "workload",
+                .values = {0.0, 1.0},
+                .labels = {"Sort", "WordCount"}}};
+  spec.replications = 1;
+  const auto result = run_sweep(spec, tiny_cell, {.threads = 1});
+  const std::string csv = to_csv(result);
+  EXPECT_NE(csv.find("Hadoop-NS,Sort,"), std::string::npos);
+  EXPECT_NE(csv.find("Hadoop-NS,WordCount,"), std::string::npos);
+  // JSON keeps both the numeric value and the display label.
+  const std::string json = to_json(result);
+  EXPECT_NE(json.find("\"point_labels\":{\"workload\":\"Sort\"}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace chronos::exp
