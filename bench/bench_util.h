@@ -1,18 +1,14 @@
 // Shared helpers for the table/figure reproduction binaries.
 #pragma once
 
-#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
-#include <memory>
 #include <string>
-#include <utility>
-#include <vector>
 
+#include "common/numeric.h"
 #include "exp/report.h"
-#include "exp/threadpool.h"
+#include "exp/sweep.h"
 
 namespace chronos::bench {
 
@@ -22,32 +18,27 @@ using Table = exp::Table;
 
 /// Formats a utility that may be -infinity.
 inline std::string fmt_utility(double u) {
-  if (std::isinf(u)) {
-    return u < 0 ? "-inf" : "+inf";
-  }
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.3f", u);
-  return buffer;
+  return numeric::format_double_fixed(u, 3);
 }
 
 inline std::string fmt(double v, int precision = 3) {
-  char buffer[48];
-  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
-  return buffer;
+  return numeric::format_double_fixed(v, precision);
 }
 
 inline std::string fmt_int(long long v) { return std::to_string(v); }
 
 /// Flags shared by the sweep-engine bench binaries:
-///   --threads N   worker threads (0 = all hardware threads)
-///   --reps N      replications per cell (0 = binary default)
-///   --csv PATH    also write the aggregated sweep as CSV
-///   --json PATH   also write the aggregated sweep as JSON
+///   --threads N     worker threads (0 = all hardware threads)
+///   --reps N        replications per cell (0 = binary default)
+///   --csv PATH      also write the aggregated sweep as CSV
+///   --json PATH     also write the aggregated sweep as JSON
+///   --journal PATH  checkpoint finished cells; reruns resume from it
 struct SweepCli {
   int threads = 0;
   int reps = 0;
   std::string csv;
   std::string json;
+  std::string journal;
 };
 
 /// Parses a bounded non-negative integer flag value or exits with usage.
@@ -80,6 +71,8 @@ inline SweepCli parse_sweep_cli(int argc, char** argv) {
       cli.csv = value(i);
     } else if (arg == "--json") {
       cli.json = value(i);
+    } else if (arg == "--journal") {
+      cli.journal = value(i);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       std::exit(2);
@@ -88,46 +81,12 @@ inline SweepCli parse_sweep_cli(int argc, char** argv) {
   return cli;
 }
 
-/// Plans one trace per (policy, axis value) cell across a thread pool and
-/// returns the planned traces keyed by that pair, ready for replications to
-/// share. `plan(policy, value)` must be thread-safe and return the planned
-/// job list for one cell; planning is deterministic, so the parallelism
-/// cannot change results. `threads` <= 0 means all hardware threads; the
-/// pool is clamped to the number of cells.
-template <typename PlanFn>
-std::map<std::pair<strategies::PolicyKind, double>,
-         std::shared_ptr<const std::vector<trace::TracedJob>>>
-parallel_plan_cells(const std::vector<strategies::PolicyKind>& policies,
-                    const std::vector<double>& values, int threads,
-                    PlanFn&& plan) {
-  std::vector<std::pair<strategies::PolicyKind, double>> keys;
-  for (const strategies::PolicyKind policy : policies) {
-    for (const double value : values) {
-      keys.emplace_back(policy, value);
-    }
-  }
-  std::vector<std::shared_ptr<const std::vector<trace::TracedJob>>> slots(
-      keys.size());
-  {
-    int workers = threads > 0 ? threads : exp::ThreadPool::hardware_threads();
-    workers = static_cast<int>(std::min<std::size_t>(
-        static_cast<std::size_t>(workers), keys.size()));
-    exp::ThreadPool pool(workers);
-    for (std::size_t i = 0; i < keys.size(); ++i) {
-      pool.submit([&keys, &slots, &plan, i] {
-        slots[i] = std::make_shared<const std::vector<trace::TracedJob>>(
-            plan(keys[i].first, keys[i].second));
-      });
-    }
-    pool.wait();
-  }
-  std::map<std::pair<strategies::PolicyKind, double>,
-           std::shared_ptr<const std::vector<trace::TracedJob>>>
-      planned;
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    planned.emplace(keys[i], std::move(slots[i]));
-  }
-  return planned;
+/// Sweep options carrying the CLI's --threads and --journal flags.
+inline exp::SweepOptions sweep_options(const SweepCli& cli) {
+  exp::SweepOptions options;
+  options.threads = cli.threads;
+  options.journal = cli.journal;
+  return options;
 }
 
 /// Applies the --csv / --json flags to a finished sweep.

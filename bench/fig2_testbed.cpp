@@ -15,7 +15,10 @@
 // columns — Figure 2(c)'s utility lives in the printed table only.
 //
 //   ./fig2_testbed [--threads N] [--reps N] [--csv PATH] [--json PATH]
+//                  [--journal PATH]
 #include <cstdio>
+#include <memory>
+#include <utility>
 
 #include "bench_util.h"
 #include "core/chronos.h"
@@ -109,18 +112,20 @@ int main(int argc, char** argv) {
   spec.seed = 17;
 
   // The job list depends on the cell (policy, benchmark) but not the
-  // replication seed, so build each cell's jobs once in parallel;
-  // replications share it.
-  const auto planned = bench::parallel_plan_cells(
-      spec.policies, benchmarks.values, cli.threads,
-      [&](PolicyKind policy, double b) {
-        return make_jobs(suite[static_cast<std::size_t>(b)], policy, prices);
-      });
-
-  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
-                                       std::uint64_t seed) {
+  // replication seed: the engine's setup hook builds each cell's jobs once
+  // (keyed by the benchmark's axis *index*, never its float value) and the
+  // cell's replications share them.
+  exp::SweepHooks hooks;
+  hooks.setup = [&](const exp::SweepPoint& point) {
+    exp::SharedCell shared;
+    shared.jobs = std::make_shared<const std::vector<trace::TracedJob>>(
+        make_jobs(suite[point.index("benchmark")], point.policy, prices));
+    return shared;
+  };
+  hooks.run = [](const exp::SweepPoint& point, std::uint64_t seed,
+                 const exp::SharedCell& shared) {
     exp::CellInstance instance;
-    instance.jobs = planned.at({point.policy, point.value("benchmark")});
+    instance.jobs = shared.jobs;
     instance.config = trace::ExperimentConfig::testbed(point.policy, seed);
     return instance;
   };
@@ -131,15 +136,13 @@ int main(int argc, char** argv) {
       "%d replications/cell\n\n",
       kJobs, kTasksPerJob, kTauEst, kTauKill, kTheta, spec.replications);
 
-  const auto result =
-      exp::run_sweep(spec, factory, {.threads = cli.threads});
+  const auto result = exp::run_sweep(spec, hooks, bench::sweep_options(cli));
 
   // R_min per benchmark: mean Hadoop-NS PoCD of that benchmark's cell.
   std::vector<double> r_min(suite.size(), 0.0);
   for (const auto& cell : result.cells) {
     if (cell.point.policy == PolicyKind::kHadoopNS) {
-      const auto b = static_cast<std::size_t>(cell.point.value("benchmark"));
-      r_min[b] = cell.aggregate.pocd.mean;
+      r_min[cell.point.index("benchmark")] = cell.aggregate.pocd.mean;
     }
   }
 
@@ -147,7 +150,7 @@ int main(int argc, char** argv) {
                       "mean r"});
   for (std::size_t b = 0; b < suite.size(); ++b) {
     for (const auto& cell : result.cells) {
-      if (static_cast<std::size_t>(cell.point.value("benchmark")) != b) {
+      if (cell.point.index("benchmark") != b) {
         continue;
       }
       const auto& agg = cell.aggregate;

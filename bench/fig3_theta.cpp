@@ -7,13 +7,18 @@
 // Mantri has no notion of theta: its measured PoCD and cost are constant
 // across the sweep (only its reported utility changes).
 //
+// The same grid exists as a config file (manifests/fig3_theta.ini); with
+// equal --reps/--threads, `sweeprun` on that manifest writes a CSV
+// byte-identical to this binary's.
+//
 //   ./fig3_theta [--threads N] [--reps N] [--csv PATH] [--json PATH]
+//                [--journal PATH]
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
-#include "exp/threadpool.h"
 #include "trace/harness.h"
 #include "trace/planner.h"
 
@@ -66,26 +71,28 @@ int main(int argc, char** argv) {
   spec.seed = 41;
 
   // Planning depends on the cell (policy, theta) but not the replication
-  // seed, so plan each cell's trace once in parallel; replications share it.
-  const auto planned = bench::parallel_plan_cells(
-      spec.policies, spec.axes[0].values, cli.threads,
-      [&](PolicyKind policy, double theta) {
-        trace::PlannerConfig planner;
-        planner.theta = theta;
-        auto jobs = base_jobs;
-        plan_trace(jobs, policy, planner, prices);
-        return jobs;
-      });
-
-  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
-                                       std::uint64_t seed) {
-    const double theta = point.value("theta");
+  // seed: the engine's setup hook plans each cell's trace once and shares
+  // it across that cell's replications.
+  exp::SweepHooks hooks;
+  hooks.setup = [&](const exp::SweepPoint& point) {
+    trace::PlannerConfig planner;
+    planner.theta = point.value("theta");
+    auto jobs = base_jobs;
+    plan_trace(jobs, point.policy, planner, prices);
+    exp::SharedCell shared;
+    shared.jobs = std::make_shared<const std::vector<trace::TracedJob>>(
+        std::move(jobs));
+    shared.r_min = r_min;
+    return shared;
+  };
+  hooks.run = [&](const exp::SweepPoint& point, std::uint64_t seed,
+                  const exp::SharedCell& shared) {
     exp::CellInstance instance;
-    instance.jobs = planned.at({point.policy, theta});
+    instance.jobs = shared.jobs;
     instance.config = trace::ExperimentConfig::large_scale(point.policy, seed);
     instance.report_utility = true;
-    instance.theta = theta;
-    instance.r_min = r_min;
+    instance.theta = point.value("theta");
+    instance.r_min = shared.r_min;
     return instance;
   };
 
@@ -95,8 +102,7 @@ int main(int argc, char** argv) {
       base_jobs.size(), static_cast<long long>(trace::total_tasks(base_jobs)),
       r_min, spec.replications);
 
-  const auto result =
-      exp::run_sweep(spec, factory, {.threads = cli.threads});
+  const auto result = exp::run_sweep(spec, hooks, bench::sweep_options(cli));
   exp::to_table(result).print();
   bench::dump_reports(cli, result);
   std::printf(

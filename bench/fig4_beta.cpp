@@ -4,15 +4,16 @@
 // driven by the sweep engine with replicated cells.
 //
 //   ./fig4_beta [--threads N] [--reps N] [--csv PATH] [--json PATH]
+//               [--journal PATH]
 #include <algorithm>
 #include <cstdio>
-#include <map>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
-#include "exp/threadpool.h"
 #include "trace/harness.h"
 #include "trace/planner.h"
 
@@ -64,12 +65,15 @@ int main(int argc, char** argv) {
   const trace::SpotPriceModel prices;
   const std::vector<double> betas = {1.1, 1.3, 1.5, 1.7, 1.9};
 
-  std::map<double, BetaTrace> traces;
+  // One shared base trace per beta, indexed in axis order (cells look it up
+  // by axis index — float-keyed maps can alias nearly-equal values).
+  std::vector<BetaTrace> traces;
+  traces.reserve(betas.size());
   for (const double beta : betas) {
     BetaTrace entry;
     entry.jobs = make_trace(beta);
     entry.r_min = mean_baseline_pocd(entry.jobs);
-    traces.emplace(beta, std::move(entry));
+    traces.push_back(std::move(entry));
   }
 
   exp::SweepSpec spec;
@@ -82,28 +86,31 @@ int main(int argc, char** argv) {
   spec.seed = 43;
 
   // Planning depends on the cell (policy, beta) but not the replication
-  // seed, so plan each cell's trace once in parallel; replications share it.
-  const auto planned = bench::parallel_plan_cells(
-      spec.policies, betas, cli.threads,
-      [&](PolicyKind policy, double beta) {
-        trace::PlannerConfig planner;
-        planner.theta = kTheta;
-        auto jobs = traces.at(beta).jobs;
-        plan_trace(jobs, policy, planner, prices);
-        return jobs;
-      });
-
-  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
-                                       std::uint64_t seed) {
-    const double beta = point.value("beta");
-    exp::CellInstance instance;
-    instance.jobs = planned.at({point.policy, beta});
-    instance.config = trace::ExperimentConfig::large_scale(point.policy, seed);
+  // seed: the engine's setup hook plans each cell's trace once and shares
+  // it across that cell's replications.
+  exp::SweepHooks hooks;
+  hooks.setup = [&](const exp::SweepPoint& point) {
+    const BetaTrace& base = traces[point.index("beta")];
+    trace::PlannerConfig planner;
+    planner.theta = kTheta;
+    auto jobs = base.jobs;
+    plan_trace(jobs, point.policy, planner, prices);
+    exp::SharedCell shared;
+    shared.jobs = std::make_shared<const std::vector<trace::TracedJob>>(
+        std::move(jobs));
     // Report utility against the analytic no-speculation R_min, slightly
     // offset so the baselines stay finite when they sit exactly at R_min.
+    shared.r_min = std::max(0.0, base.r_min - 0.05);
+    return shared;
+  };
+  hooks.run = [](const exp::SweepPoint& point, std::uint64_t seed,
+                 const exp::SharedCell& shared) {
+    exp::CellInstance instance;
+    instance.jobs = shared.jobs;
+    instance.config = trace::ExperimentConfig::large_scale(point.policy, seed);
     instance.report_utility = true;
     instance.theta = kTheta;
-    instance.r_min = std::max(0.0, traces.at(beta).r_min - 0.05);
+    instance.r_min = shared.r_min;
     return instance;
   };
 
@@ -113,8 +120,7 @@ int main(int argc, char** argv) {
       "%d replications/cell\n\n",
       kTheta, spec.replications);
 
-  const auto result =
-      exp::run_sweep(spec, factory, {.threads = cli.threads});
+  const auto result = exp::run_sweep(spec, hooks, bench::sweep_options(cli));
   exp::to_table(result).print();
   bench::dump_reports(cli, result);
   std::printf(

@@ -64,7 +64,9 @@ exp::CellInstance make_cell(const exp::SweepPoint& point, std::uint64_t seed,
 double run_timed(const exp::SweepSpec& spec, const exp::CellFactory& factory,
                  int threads, exp::SweepResult& result) {
   const auto start = std::chrono::steady_clock::now();
-  result = exp::run_sweep(spec, factory, {.threads = threads});
+  exp::SweepOptions options;
+  options.threads = threads;
+  result = exp::run_sweep(spec, factory, options);
   const auto elapsed = std::chrono::steady_clock::now() - start;
   return std::chrono::duration<double>(elapsed).count();
 }

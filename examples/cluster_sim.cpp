@@ -57,19 +57,14 @@ int main(int argc, char** argv) {
   trace_config.duration_hours = 10.0;
   trace_config.mean_tasks = 60.0;
   trace_config.max_tasks = 600;
-  auto jobs = generate_trace(trace_config);
+  const auto base_jobs = generate_trace(trace_config);
 
-  trace::PlannerConfig planner;
-  planner.theta = theta;
-  const trace::SpotPriceModel prices;
-  plan_trace(jobs, policy, planner, prices);
-
-  std::printf("Trace: %zu jobs, %lld tasks over %.0f h\n", jobs.size(),
-              static_cast<long long>(trace::total_tasks(jobs)),
+  std::printf("Trace: %zu jobs, %lld tasks over %.0f h\n", base_jobs.size(),
+              static_cast<long long>(trace::total_tasks(base_jobs)),
               trace_config.duration_hours);
 
   double r_min_sum = 0.0;
-  for (const auto& job : jobs) {
+  for (const auto& job : base_jobs) {
     core::JobParams params;
     params.num_tasks = job.spec.num_tasks;
     params.deadline = job.spec.deadline;
@@ -77,28 +72,42 @@ int main(int argc, char** argv) {
     params.beta = job.spec.beta;
     r_min_sum += core::pocd_no_speculation(params);
   }
-  const double r_min = r_min_sum / static_cast<double>(jobs.size());
+  const double r_min = r_min_sum / static_cast<double>(base_jobs.size());
 
-  // One-cell sweep: same planned trace, `reps` independent simulator seeds.
+  // One-cell sweep: the setup hook plans the trace once; the cell's `reps`
+  // replications share it under independent simulator seeds.
   exp::SweepSpec spec;
   spec.name = "cluster_sim";
   spec.policies = {policy};
   spec.replications = reps;
   spec.seed = 1;
-  const auto shared_jobs =
-      std::make_shared<const std::vector<trace::TracedJob>>(std::move(jobs));
-  const exp::CellFactory factory = [&](const exp::SweepPoint& point,
-                                       std::uint64_t seed) {
+  exp::SweepHooks hooks;
+  hooks.setup = [&](const exp::SweepPoint& point) {
+    trace::PlannerConfig planner;
+    planner.theta = theta;
+    const trace::SpotPriceModel prices;
+    auto jobs = base_jobs;
+    plan_trace(jobs, point.policy, planner, prices);
+    exp::SharedCell shared;
+    shared.jobs = std::make_shared<const std::vector<trace::TracedJob>>(
+        std::move(jobs));
+    shared.r_min = r_min;
+    return shared;
+  };
+  hooks.run = [&](const exp::SweepPoint& point, std::uint64_t seed,
+                  const exp::SharedCell& shared) {
     exp::CellInstance instance;
-    instance.jobs = shared_jobs;
+    instance.jobs = shared.jobs;
     instance.config =
         trace::ExperimentConfig::large_scale(point.policy, seed);
     instance.report_utility = true;
     instance.theta = theta;
-    instance.r_min = r_min;
+    instance.r_min = shared.r_min;
     return instance;
   };
-  const auto sweep = exp::run_sweep(spec, factory, {.threads = threads});
+  exp::SweepOptions options;
+  options.threads = threads;
+  const auto sweep = exp::run_sweep(spec, hooks, options);
   const auto& cell = sweep.cells.front();
   const auto& agg = cell.aggregate;
 

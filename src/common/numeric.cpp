@@ -1,7 +1,9 @@
 #include "common/numeric.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <system_error>
 
 #include "common/error.h"
 
@@ -142,6 +144,69 @@ long long ternary_search_max_int(const std::function<double(long long)>& f,
 bool approx_equal(double a, double b, double tol) {
   return std::abs(a - b) <=
          tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  if (std::isinf(v)) {
+    return v < 0 ? "-inf" : "inf";
+  }
+  char buffer[40];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  CHRONOS_ENSURES(result.ec == std::errc(), "to_chars failed");
+  return std::string(buffer, result.ptr);
+}
+
+std::string format_double_fixed(double v, int precision) {
+  CHRONOS_EXPECTS(precision >= 0, "precision must be >= 0");
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  if (std::isinf(v)) {
+    return v < 0 ? "-inf" : "+inf";
+  }
+  // Fixed form of a large magnitude needs one char per integer digit; fall
+  // back to the shortest form in the (never meaningful) overflow case.
+  char buffer[512];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), v,
+                                    std::chars_format::fixed, precision);
+  if (result.ec != std::errc()) {
+    return format_double(v);
+  }
+  return std::string(buffer, result.ptr);
+}
+
+std::string format_double_g(double v) {
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  if (std::isinf(v)) {
+    return v < 0 ? "-inf" : "inf";
+  }
+  char buffer[40];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), v,
+                                    std::chars_format::general, 6);
+  CHRONOS_ENSURES(result.ec == std::errc(), "to_chars failed");
+  return std::string(buffer, result.ptr);
+}
+
+bool parse_double(std::string_view text, double& out) {
+  if (!text.empty() && text.front() == '+') {
+    text.remove_prefix(1);
+  }
+  if (text.empty()) {
+    return false;
+  }
+  double parsed = 0.0;
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (result.ec != std::errc() || result.ptr != text.data() + text.size()) {
+    return false;
+  }
+  out = parsed;
+  return true;
 }
 
 }  // namespace chronos::numeric

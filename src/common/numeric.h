@@ -8,6 +8,8 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <string_view>
 
 namespace chronos::numeric {
 
@@ -45,5 +47,29 @@ long long ternary_search_max_int(const std::function<double(long long)>& f,
 
 /// True when |a - b| <= tol * max(1, |a|, |b|).
 bool approx_equal(double a, double b, double tol = 1e-9);
+
+// --- locale-independent decimal formatting ---------------------------------
+//
+// snprintf/strtod honour the global C locale's decimal separator, so report
+// bytes (and manifest parsing) would change under e.g. a ","-decimal locale.
+// These helpers are built on std::to_chars / std::from_chars, which always
+// use '.', making every emitted report byte-identical regardless of locale.
+
+/// Shortest decimal form that parses back to exactly `v` ("1e-06", "0.3").
+/// Non-finite values render as "inf" / "-inf" / "nan".
+std::string format_double(double v);
+
+/// Fixed-point form with `precision` fractional digits, like printf %.*f.
+/// Non-finite values render as "+inf" / "-inf" / "nan". Requires
+/// precision >= 0.
+std::string format_double_fixed(double v, int precision);
+
+/// Six-significant-digit general form, like printf %g ("1e-06", "0.333333").
+std::string format_double_g(double v);
+
+/// Parses the entire string as a decimal double (also accepts "inf"/"nan"
+/// and a leading '+'). Returns false when the text is empty, has trailing
+/// characters, or does not parse.
+bool parse_double(std::string_view text, double& out);
 
 }  // namespace chronos::numeric

@@ -90,4 +90,23 @@ CellAggregate aggregate_runs(std::span<const RunRecord> runs) {
   return aggregate;
 }
 
+namespace {
+
+constexpr const char* kMetricNames[] = {"pocd", "cost", "machine_time",
+                                        "mean_r", "utility"};
+
+}  // namespace
+
+std::span<const char* const> metric_names() { return kMetricNames; }
+
+const MetricSummary* find_metric(const CellAggregate& aggregate,
+                                 const std::string& name) {
+  if (name == "pocd") return &aggregate.pocd;
+  if (name == "cost") return &aggregate.cost;
+  if (name == "machine_time") return &aggregate.machine_time;
+  if (name == "mean_r") return &aggregate.mean_r;
+  if (name == "utility") return &aggregate.utility;
+  return nullptr;
+}
+
 }  // namespace chronos::exp

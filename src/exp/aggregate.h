@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
 #include "trace/harness.h"
 
@@ -48,5 +49,13 @@ struct CellAggregate {
 
 /// Reduces one cell's replications. Requires a non-empty span.
 CellAggregate aggregate_runs(std::span<const RunRecord> runs);
+
+/// Names of the per-cell summary metrics, in report order: "pocd", "cost",
+/// "machine_time", "mean_r", "utility".
+std::span<const char* const> metric_names();
+
+/// The named summary of `aggregate`, or nullptr for an unknown name.
+const MetricSummary* find_metric(const CellAggregate& aggregate,
+                                 const std::string& name);
 
 }  // namespace chronos::exp

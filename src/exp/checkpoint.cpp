@@ -1,0 +1,326 @@
+#include "exp/checkpoint.h"
+
+#include <charconv>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <string_view>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "exp/sweep.h"
+
+namespace chronos::exp {
+
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "chronos-journal v1 fp=";
+constexpr std::string_view kEntryPrefix = "cell ";
+constexpr std::string_view kChecksumSep = " crc=";
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value, 16);
+  return std::string(buffer, result.ptr);
+}
+
+/// Exact textual form of a double: hex float via to_chars ("1.4p+1"), with
+/// "inf"/"-inf"/"nan" for the non-finite values utilities can take.
+void append_hex_double(std::string& out, double v) {
+  char buffer[48];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), v,
+                                    std::chars_format::hex);
+  CHRONOS_ENSURES(result.ec == std::errc(), "hex to_chars failed");
+  out.append(buffer, result.ptr);
+}
+
+void append_summary(std::string& out, const MetricSummary& summary) {
+  out += ' ';
+  out += std::to_string(summary.count);
+  for (const double v : {summary.mean, summary.stddev, summary.ci95,
+                         summary.min, summary.max}) {
+    out += ' ';
+    append_hex_double(out, v);
+  }
+}
+
+/// Splits `text` on single spaces. Journal lines are machine-written, so a
+/// double space is corruption and surfaces as a parse failure downstream.
+std::vector<std::string_view> split_fields(std::string_view text) {
+  std::vector<std::string_view> fields;
+  while (!text.empty()) {
+    const std::size_t space = text.find(' ');
+    fields.push_back(text.substr(0, space));
+    if (space == std::string_view::npos) {
+      break;
+    }
+    text.remove_prefix(space + 1);
+  }
+  return fields;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) {
+    return false;
+  }
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc() &&
+         result.ptr == text.data() + text.size();
+}
+
+bool parse_hex_double(std::string_view text, double& out) {
+  if (text.empty()) {
+    return false;
+  }
+  bool negative = false;
+  if (text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  if (text == "inf" || text == "nan") {
+    out = text == "inf" ? std::numeric_limits<double>::infinity()
+                        : std::numeric_limits<double>::quiet_NaN();
+  } else {
+    const auto result = std::from_chars(
+        text.data(), text.data() + text.size(), out, std::chars_format::hex);
+    if (result.ec != std::errc() ||
+        result.ptr != text.data() + text.size()) {
+      return false;
+    }
+  }
+  if (negative) {
+    out = -out;
+  }
+  return true;
+}
+
+/// Consumes one MetricSummary (6 fields) starting at fields[at].
+bool parse_summary(const std::vector<std::string_view>& fields,
+                   std::size_t& at, MetricSummary& summary) {
+  if (at + 6 > fields.size()) {
+    return false;
+  }
+  if (!parse_u64(fields[at], summary.count)) {
+    return false;
+  }
+  double* const slots[] = {&summary.mean, &summary.stddev, &summary.ci95,
+                           &summary.min, &summary.max};
+  for (std::size_t i = 0; i < 5; ++i) {
+    if (!parse_hex_double(fields[at + 1 + i], *slots[i])) {
+      return false;
+    }
+  }
+  at += 6;
+  return true;
+}
+
+}  // namespace
+
+std::string spec_fingerprint(const SweepSpec& spec,
+                             const std::string& salt) {
+  std::string canon = "name=";
+  canon += spec.name;
+  canon += ";seed=";
+  canon += std::to_string(spec.seed);
+  canon += ";replications=";
+  canon += std::to_string(spec.replications);
+  canon += ";policies=";
+  for (const auto policy : spec.policies) {
+    canon += strategies::to_string(policy);
+    canon += ',';
+  }
+  for (const Axis& axis : spec.axes) {
+    canon += ";axis=";
+    canon += axis.name;
+    canon += ':';
+    for (const double value : axis.values) {
+      append_hex_double(canon, value);
+      canon += ',';
+    }
+    canon += ':';
+    for (const std::string& label : axis.labels) {
+      canon += label;
+      canon += ',';
+    }
+  }
+  if (spec.adaptive.enabled()) {
+    canon += ";adaptive=";
+    canon += spec.adaptive.metric;
+    canon += ',';
+    append_hex_double(canon, spec.adaptive.target_ci95);
+    canon += ',';
+    canon += std::to_string(spec.adaptive.batch);
+    canon += ',';
+    canon += std::to_string(spec.adaptive.max_replications);
+  }
+  if (!salt.empty()) {
+    canon += ";salt=";
+    canon += salt;
+  }
+  return hex64(fnv1a(canon));
+}
+
+std::string encode_journal_entry(const JournalEntry& entry) {
+  std::string line(kEntryPrefix);
+  line += std::to_string(entry.cell);
+  const CellAggregate& agg = entry.aggregate;
+  for (const std::uint64_t v :
+       {agg.runs, agg.jobs, agg.attempts_launched, agg.attempts_killed,
+        agg.attempts_failed, agg.events_executed}) {
+    line += ' ';
+    line += std::to_string(v);
+  }
+  append_summary(line, agg.pocd);
+  append_summary(line, agg.cost);
+  append_summary(line, agg.machine_time);
+  append_summary(line, agg.mean_r);
+  append_summary(line, agg.utility);
+  line += kChecksumSep;
+  line += hex64(fnv1a(std::string_view(line.data(),
+                                       line.size() - kChecksumSep.size())));
+  return line;
+}
+
+std::optional<JournalEntry> decode_journal_entry(const std::string& line) {
+  std::string_view text = line;
+  if (text.substr(0, kEntryPrefix.size()) != kEntryPrefix) {
+    return std::nullopt;
+  }
+  const std::size_t crc_at = text.rfind(kChecksumSep);
+  if (crc_at == std::string_view::npos) {
+    return std::nullopt;
+  }
+  const std::string_view payload = text.substr(0, crc_at);
+  const std::string_view checksum =
+      text.substr(crc_at + kChecksumSep.size());
+  if (checksum != hex64(fnv1a(payload))) {
+    return std::nullopt;
+  }
+  const auto fields = split_fields(payload.substr(kEntryPrefix.size()));
+  // cell index + 6 counters + 5 summaries x 6 fields.
+  if (fields.size() != 7 + 5 * 6) {
+    return std::nullopt;
+  }
+  JournalEntry entry;
+  std::uint64_t cell = 0;
+  if (!parse_u64(fields[0], cell)) {
+    return std::nullopt;
+  }
+  entry.cell = static_cast<std::size_t>(cell);
+  CellAggregate& agg = entry.aggregate;
+  std::uint64_t* const counters[] = {
+      &agg.runs,           &agg.jobs,            &agg.attempts_launched,
+      &agg.attempts_killed, &agg.attempts_failed, &agg.events_executed};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (!parse_u64(fields[1 + i], *counters[i])) {
+      return std::nullopt;
+    }
+  }
+  std::size_t at = 7;
+  MetricSummary* const summaries[] = {&agg.pocd, &agg.cost,
+                                      &agg.machine_time, &agg.mean_r,
+                                      &agg.utility};
+  for (MetricSummary* summary : summaries) {
+    if (!parse_summary(fields, at, *summary)) {
+      return std::nullopt;
+    }
+  }
+  return entry;
+}
+
+JournalContents read_journal(const std::string& path,
+                             const std::string& fingerprint) {
+  JournalContents contents;
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return contents;
+  }
+  contents.found = true;
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(file);
+
+  std::size_t at = 0;
+  bool first = true;
+  while (at < text.size()) {
+    const std::size_t end = text.find('\n', at);
+    if (end == std::string::npos) {
+      break;  // torn tail: the line a crash interrupted
+    }
+    const std::string line = text.substr(at, end - at);
+    at = end + 1;
+    if (first) {
+      first = false;
+      if (line != std::string(kHeaderPrefix) + fingerprint) {
+        return contents;  // another spec's journal; nothing is reusable
+      }
+      contents.compatible = true;
+      contents.valid_bytes = at;
+      continue;
+    }
+    const auto entry = decode_journal_entry(line);
+    if (!entry.has_value()) {
+      break;  // corrupt line; trust nothing after it
+    }
+    contents.cells.insert_or_assign(entry->cell, entry->aggregate);
+    contents.valid_bytes = at;
+  }
+  return contents;
+}
+
+JournalWriter::JournalWriter(const std::string& path,
+                             const std::string& fingerprint, bool resume,
+                             std::size_t resume_valid_bytes)
+    : path_(path) {
+  if (resume) {
+    // Drop any torn tail before appending, or the next entry would fuse
+    // with it into one corrupt line.
+    std::error_code ignored;
+    std::filesystem::resize_file(path, resume_valid_bytes, ignored);
+  }
+  file_ = std::fopen(path.c_str(), resume ? "ab" : "wb");
+  CHRONOS_EXPECTS(file_ != nullptr,
+                  "cannot open journal '" + path + "' for writing");
+  if (!resume) {
+    const std::string header =
+        std::string(kHeaderPrefix) + fingerprint + "\n";
+    const std::size_t written =
+        std::fwrite(header.data(), 1, header.size(), file_);
+    CHRONOS_EXPECTS(written == header.size() && std::fflush(file_) == 0,
+                    "short write to journal '" + path + "'");
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+void JournalWriter::append(const JournalEntry& entry) {
+  const std::string line = encode_journal_entry(entry) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t written =
+      std::fwrite(line.data(), 1, line.size(), file_);
+  CHRONOS_EXPECTS(written == line.size() && std::fflush(file_) == 0,
+                  "short write to journal '" + path_ + "'");
+}
+
+}  // namespace chronos::exp

@@ -1,0 +1,88 @@
+// Checkpoint/restart journal for experiment sweeps.
+//
+// A journal is an append-only text file: a header line binding the file to
+// one exact sweep spec (via a fingerprint), then one line per finished cell
+// carrying the cell index and its full CellAggregate. Doubles are encoded
+// in hexadecimal float form (std::to_chars, chars_format::hex), so restored
+// aggregates are bit-exact and any report rendered from them is
+// byte-identical to an uninterrupted run. Every entry line ends in an
+// FNV-1a checksum; a torn tail (the line a crash interrupted) fails its
+// checksum and is ignored, losing only that cell's partial work.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "exp/aggregate.h"
+
+namespace chronos::exp {
+
+struct SweepSpec;
+
+/// Stable hex fingerprint of everything that determines a sweep's numbers:
+/// name, master seed, policies, axes (values and labels), base replication
+/// count, and the adaptive-replication config. `salt` folds in caller state
+/// the spec cannot see but the cell factory depends on — e.g. a manifest's
+/// trace/planner/experiment templates (SweepOptions::journal_salt). A
+/// journal written under one fingerprint must never seed a run with a
+/// different one.
+std::string spec_fingerprint(const SweepSpec& spec,
+                             const std::string& salt = {});
+
+/// One finished cell as stored in the journal.
+struct JournalEntry {
+  std::size_t cell = 0;
+  CellAggregate aggregate;
+};
+
+/// Serializes one entry as a single journal line (no trailing newline).
+std::string encode_journal_entry(const JournalEntry& entry);
+
+/// Parses one journal line; nullopt when the line is malformed, truncated,
+/// or fails its checksum.
+std::optional<JournalEntry> decode_journal_entry(const std::string& line);
+
+struct JournalContents {
+  bool found = false;       ///< the file existed and was readable
+  bool compatible = false;  ///< its header matched the given fingerprint
+  std::map<std::size_t, CellAggregate> cells;  ///< valid entries, by index
+  /// Byte length of the valid prefix (header + intact entries). A resuming
+  /// writer truncates the file here first, so a torn tail can never fuse
+  /// with the next appended entry.
+  std::size_t valid_bytes = 0;
+};
+
+/// Reads a journal and validates its header against `fingerprint`. Entries
+/// are read up to the first invalid line (a crash's torn tail); everything
+/// before it is returned. A missing file yields {found = false}.
+JournalContents read_journal(const std::string& path,
+                             const std::string& fingerprint);
+
+/// Append-only journal writer. With `resume` set the file is first cut back
+/// to `resume_valid_bytes` (read_journal's valid prefix — dropping any torn
+/// tail) and opened for append; otherwise it is truncated entirely and a
+/// fresh header is written. Appends are flushed per entry so a crash can
+/// lose at most the line being written.
+class JournalWriter {
+ public:
+  JournalWriter(const std::string& path, const std::string& fingerprint,
+                bool resume, std::size_t resume_valid_bytes = 0);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one finished cell. Thread-safe.
+  void append(const JournalEntry& entry);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::mutex mu_;
+};
+
+}  // namespace chronos::exp

@@ -1,0 +1,119 @@
+// Sweep manifests: experiment grids as config files instead of binaries.
+//
+// A manifest is a small INI-subset file (no external dependencies) that
+// declares everything tools/sweeprun needs to run a grid: the axes,
+// policies, replication policy (fixed or adaptive), the synthetic-trace and
+// planner templates that build each cell, and where the reports and the
+// checkpoint journal go. Example (the checked-in manifests/fig3_theta.ini
+// reproduces bench/fig3_theta byte-for-byte):
+//
+//   [sweep]
+//   name = fig3_theta
+//   policies = mantri, clone, s-restart, s-resume
+//   replications = 3
+//   seed = 41
+//
+//   [axis.theta]
+//   values = 1e-6, 1e-5, 1e-4, 1e-3
+//
+//   [trace]
+//   num_jobs = 900
+//   duration_hours = 30
+//   mean_tasks = 60
+//   max_tasks = 600
+//   seed = 77
+//
+//   [planner]
+//   theta = @theta          # "@name" binds the field to that axis' value
+//
+//   [experiment]
+//   utility = on
+//   r_min = baseline        # mean no-speculation PoCD of the cell's trace
+//
+//   [output]
+//   csv = fig3.csv
+//   journal = fig3.journal
+//
+// Syntax: "[section]" headers, "key = value" pairs, "#"/";" full-line
+// comments plus "#" inline comments, comma-separated lists, double quotes
+// around list items that contain commas. Parsing is locale-independent and
+// every error names the offending line.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "exp/sweep.h"
+#include "trace/google_trace.h"
+
+namespace chronos::exp {
+
+/// A manifest value that is either a fixed number or bound to an axis
+/// ("@theta"): bound fields resolve to the cell's coordinate on that axis.
+struct Binding {
+  double fixed = 0.0;
+  std::string axis;  ///< non-empty = bound
+
+  bool bound() const { return !axis.empty(); }
+  double resolve(const SweepPoint& point) const {
+    return bound() ? point.value(axis) : fixed;
+  }
+};
+
+/// Where the utility baseline R_min comes from when utility reporting is on.
+enum class RMinMode {
+  kBaseline,  ///< mean no-speculation PoCD of the cell's (unplanned) trace
+  kFixed,     ///< the manifest's literal value
+};
+
+struct ManifestOutputs {
+  std::string csv;      ///< empty = no CSV file
+  std::string json;     ///< empty = no JSON file
+  std::string journal;  ///< empty = no checkpoint journal
+  bool table = true;    ///< print the fixed-width table to stdout
+};
+
+/// Everything a manifest declares. `spec` is fully validated; the remaining
+/// fields parameterize the cell factory that make_hooks builds.
+struct Manifest {
+  SweepSpec spec;
+
+  trace::TraceConfig trace;  ///< fixed trace-template fields
+  std::optional<Binding> trace_beta;  ///< sets beta_lo = beta_hi per cell
+  std::optional<Binding> trace_deadline_factor;  ///< sets factor lo = hi
+
+  Binding planner_theta{.fixed = 1e-4, .axis = {}};
+  std::optional<Binding> planner_tau_est_factor;
+  std::optional<Binding> planner_tau_kill_factor;
+
+  bool cluster_testbed = false;  ///< testbed vs large_scale harness config
+  bool report_utility = false;
+  RMinMode r_min_mode = RMinMode::kBaseline;
+  double r_min_fixed = 0.0;
+  double r_min_offset = 0.0;  ///< added to R_min (clamped at 0), cf. fig4
+
+  ManifestOutputs outputs;
+};
+
+/// Parses manifest text. Throws PreconditionError with a line-numbered
+/// message on any syntax or semantic problem (unknown section/key, bad
+/// number, binding to a missing axis, ...).
+Manifest parse_manifest(const std::string& text);
+
+/// Reads and parses a manifest file.
+Manifest load_manifest(const std::string& path);
+
+/// Builds the sweep hooks a manifest describes: a setup hook that generates
+/// and plans each cell's trace once (resolving axis bindings, computing the
+/// baseline R_min when asked) and a runner that wires the shared trace into
+/// every replication.
+SweepHooks make_hooks(const Manifest& manifest);
+
+/// Canonical encoding of everything outside the SweepSpec that changes a
+/// manifest sweep's numbers (trace/planner/experiment templates — not the
+/// output paths). Pass it as SweepOptions::journal_salt so that editing
+/// those sections invalidates an existing journal instead of silently
+/// resuming from results of the old configuration.
+std::string manifest_journal_salt(const Manifest& manifest);
+
+}  // namespace chronos::exp

@@ -5,48 +5,19 @@
 #include <cstdio>
 
 #include "common/error.h"
+#include "common/numeric.h"
 
 namespace chronos::exp {
 
 namespace {
 
 /// Shortest round-trip decimal form; used everywhere a number is emitted so
-/// output bytes depend only on the value.
-std::string fmt_num(double v) {
-  if (std::isinf(v)) {
-    return v < 0 ? "-inf" : "inf";
-  }
-  if (std::isnan(v)) {
-    return "nan";
-  }
-  char buffer[40];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
-  double parsed = 0.0;
-  std::sscanf(buffer, "%lg", &parsed);
-  if (parsed == v) {
-    // Try progressively shorter forms that still round-trip.
-    for (int precision = 1; precision <= 16; ++precision) {
-      char shorter[40];
-      std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
-      std::sscanf(shorter, "%lg", &parsed);
-      if (parsed == v) {
-        return shorter;
-      }
-    }
-  }
-  return buffer;
-}
+/// output bytes depend only on the value — never on the global locale
+/// (std::to_chars underneath, which always emits '.').
+std::string fmt_num(double v) { return numeric::format_double(v); }
 
 std::string fmt_fixed(double v, int precision) {
-  if (std::isinf(v)) {
-    return v < 0 ? "-inf" : "+inf";
-  }
-  if (std::isnan(v)) {
-    return "nan";
-  }
-  char buffer[48];
-  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
-  return buffer;
+  return numeric::format_double_fixed(v, precision);
 }
 
 std::string mean_pm_ci(const MetricSummary& summary, int precision) {

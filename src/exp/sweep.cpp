@@ -1,22 +1,18 @@
 #include "exp/sweep.h"
 
 #include <algorithm>
-#include <cstdio>
+#include <map>
 #include <utility>
 
 #include "common/error.h"
+#include "common/numeric.h"
 #include "common/rng.h"
+#include "exp/checkpoint.h"
 #include "exp/threadpool.h"
 
 namespace chronos::exp {
 
 namespace {
-
-std::string default_label(double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%g", value);
-  return buffer;
-}
 
 /// Decodes flat cell index `cell` into a point (policy-major, last axis
 /// fastest, like nested for-loops over policies then axes).
@@ -31,13 +27,49 @@ SweepPoint decode_cell(const SweepSpec& spec, std::size_t cell) {
     AxisValue coordinate;
     coordinate.name = axis.name;
     coordinate.value = axis.values[index];
-    coordinate.label = axis.labels.empty() ? default_label(coordinate.value)
-                                           : axis.labels[index];
+    coordinate.index = index;
+    coordinate.label = axis.labels.empty()
+                           ? numeric::format_double_g(coordinate.value)
+                           : axis.labels[index];
     point.coordinates.insert(point.coordinates.begin(),
                              std::move(coordinate));
   }
   point.policy = spec.policies[rest];
   return point;
+}
+
+/// CI half-width of the adaptive metric; used only at inter-round barriers,
+/// on deterministic per-cell data, so adaptivity cannot break the
+/// thread-count-independence guarantee.
+double metric_ci(const CellAggregate& aggregate, const std::string& metric) {
+  const MetricSummary* summary = find_metric(aggregate, metric);
+  CHRONOS_ENSURES(summary != nullptr, "unknown adaptive metric survived "
+                                      "validation: '" + metric + "'");
+  return summary->ci95;
+}
+
+/// One unfinished cell while the sweep runs: its decoded point, the shared
+/// setup product, the replications so far, and the replication target for
+/// the current round.
+struct CellWork {
+  std::size_t cell = 0;
+  SweepPoint point;
+  SharedCell shared;
+  std::vector<RunRecord> runs;
+  std::size_t target = 0;
+};
+
+void run_one_replication(const SweepHooks& hooks, const CellWork& work,
+                         std::uint64_t seed, RunRecord& record) {
+  CellInstance instance = hooks.run(work.point, seed, work.shared);
+  CHRONOS_EXPECTS(instance.jobs != nullptr,
+                  "cell runner must set CellInstance::jobs");
+  record.result = run_experiment(*instance.jobs, instance.config);
+  record.has_utility = instance.report_utility;
+  if (instance.report_utility) {
+    record.utility =
+        record.result.metrics.utility(instance.theta, instance.r_min);
+  }
 }
 
 }  // namespace
@@ -49,12 +81,27 @@ void Axis::validate() const {
                   "axis labels must parallel its values");
 }
 
+void AdaptiveSpec::validate(int base_replications) const {
+  if (!enabled()) {
+    return;
+  }
+  CHRONOS_EXPECTS(target_ci95 > 0.0,
+                  "adaptive replication needs target_ci95 > 0");
+  CHRONOS_EXPECTS(batch >= 1, "adaptive replication needs batch >= 1");
+  CHRONOS_EXPECTS(max_replications >= base_replications,
+                  "adaptive max_replications must be >= the base "
+                  "replication count");
+  CHRONOS_EXPECTS(find_metric(CellAggregate{}, metric) != nullptr,
+                  "unknown adaptive metric '" + metric + "'");
+}
+
 void SweepSpec::validate() const {
   CHRONOS_EXPECTS(!policies.empty(), "sweep needs at least one policy");
   CHRONOS_EXPECTS(replications >= 1, "sweep needs at least one replication");
   for (const Axis& axis : axes) {
     axis.validate();
   }
+  adaptive.validate(replications);
 }
 
 std::size_t SweepSpec::num_cells() const {
@@ -74,54 +121,131 @@ double SweepPoint::value(const std::string& axis) const {
   CHRONOS_EXPECTS(false, "sweep point has no axis named '" + axis + "'");
 }
 
-SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
+std::size_t SweepPoint::index(const std::string& axis) const {
+  for (const AxisValue& coordinate : coordinates) {
+    if (coordinate.name == axis) {
+      return coordinate.index;
+    }
+  }
+  CHRONOS_EXPECTS(false, "sweep point has no axis named '" + axis + "'");
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
                       const SweepOptions& options) {
   spec.validate();
-  CHRONOS_EXPECTS(factory != nullptr, "sweep needs a cell factory");
+  CHRONOS_EXPECTS(hooks.run != nullptr, "sweep needs a cell runner");
   CHRONOS_EXPECTS(options.threads >= 0, "threads must be >= 0");
 
   const std::size_t cells = spec.num_cells();
-  const std::size_t reps = static_cast<std::size_t>(spec.replications);
+  const std::size_t base_reps = static_cast<std::size_t>(spec.replications);
+  const std::size_t rep_cap =
+      spec.adaptive.enabled()
+          ? static_cast<std::size_t>(spec.adaptive.max_replications)
+          : base_reps;
 
-  // Seeds are derived serially, before any task runs, so the assignment of
-  // seed -> (cell, replication) cannot depend on thread scheduling.
-  Rng master(spec.seed);
-  std::vector<std::uint64_t> seeds;
-  seeds.reserve(cells * reps);
-  for (std::size_t c = 0; c < cells; ++c) {
-    Rng cell_stream = master.split();
-    for (std::size_t k = 0; k < reps; ++k) {
-      seeds.push_back(cell_stream.split_seed());
-    }
-  }
-
-  // One slot per replication; workers only touch their own slot. Never
-  // spawn more workers than there are replications to run.
-  std::vector<RunRecord> runs(cells * reps);
-  int threads =
-      options.threads == 0 ? ThreadPool::hardware_threads() : options.threads;
-  threads = static_cast<int>(
-      std::min<std::size_t>(static_cast<std::size_t>(threads), cells * reps));
-  ThreadPool pool(threads);
-  for (std::size_t c = 0; c < cells; ++c) {
-    const SweepPoint point = decode_cell(spec, c);
-    for (std::size_t k = 0; k < reps; ++k) {
-      const std::size_t slot = c * reps + k;
-      pool.submit([&factory, &runs, &seeds, point, slot] {
-        CellInstance instance = factory(point, seeds[slot]);
-        CHRONOS_EXPECTS(instance.jobs != nullptr,
-                        "cell factory must set CellInstance::jobs");
-        RunRecord& record = runs[slot];
-        record.result = run_experiment(*instance.jobs, instance.config);
-        record.has_utility = instance.report_utility;
-        if (instance.report_utility) {
-          record.utility = record.result.metrics.utility(instance.theta,
-                                                         instance.r_min);
+  // Restore finished cells from the journal, when one is configured. An
+  // incompatible journal (another spec's, or a stale format) is discarded
+  // and rewritten rather than half-trusted.
+  std::map<std::size_t, CellAggregate> finished;
+  std::unique_ptr<JournalWriter> journal;
+  if (!options.journal.empty()) {
+    const std::string fingerprint =
+        spec_fingerprint(spec, options.journal_salt);
+    JournalContents contents = read_journal(options.journal, fingerprint);
+    if (contents.compatible) {
+      for (auto& [cell, aggregate] : contents.cells) {
+        if (cell < cells) {
+          finished.insert_or_assign(cell, std::move(aggregate));
         }
-      });
+      }
+    }
+    journal = std::make_unique<JournalWriter>(options.journal, fingerprint,
+                                              contents.compatible,
+                                              contents.valid_bytes);
+  }
+
+  // One seed stream per cell, split off the master serially and in cell
+  // order before any task runs: the seed of replication k of cell c depends
+  // only on (spec.seed, c, k) — never on thread scheduling, on which cells
+  // the journal already held, or on how many extra replications other cells
+  // requested adaptively.
+  Rng master(spec.seed);
+  std::vector<Rng> streams;
+  streams.reserve(cells);
+  for (std::size_t c = 0; c < cells; ++c) {
+    streams.push_back(master.split());
+  }
+
+  std::vector<CellWork> pending;
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (finished.find(c) != finished.end()) {
+      continue;
+    }
+    CellWork work;
+    work.cell = c;
+    work.point = decode_cell(spec, c);
+    work.target = base_reps;
+    pending.push_back(std::move(work));
+  }
+
+  if (!pending.empty()) {
+    int threads = options.threads == 0 ? ThreadPool::hardware_threads()
+                                       : options.threads;
+    threads = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(threads), pending.size() * base_reps));
+    ThreadPool pool(threads);
+
+    // Setup phase: plan every unfinished cell once, in parallel. Journaled
+    // cells never re-plan — on restart only the remaining work is redone.
+    if (hooks.setup) {
+      for (CellWork& work : pending) {
+        pool.submit([&hooks, &work] { work.shared = hooks.setup(work.point); });
+      }
+      pool.wait();
+    }
+
+    // Replication rounds. Each round runs every pending cell up to its
+    // current target across the pool, then decides — at the barrier, from
+    // deterministic data — which cells are done (journal them) and which
+    // need another adaptive batch.
+    while (!pending.empty()) {
+      for (CellWork& work : pending) {
+        const std::size_t have = work.runs.size();
+        work.runs.resize(work.target);
+        for (std::size_t k = have; k < work.target; ++k) {
+          const std::uint64_t seed = streams[work.cell].split_seed();
+          RunRecord& record = work.runs[k];
+          pool.submit([&hooks, &work, &record, seed] {
+            run_one_replication(hooks, work, seed, record);
+          });
+        }
+      }
+      pool.wait();
+
+      std::vector<CellWork> still_running;
+      for (CellWork& work : pending) {
+        CellAggregate aggregate = aggregate_runs(work.runs);
+        const bool wants_more =
+            spec.adaptive.enabled() && work.runs.size() < rep_cap &&
+            (work.runs.size() < 2 ||
+             metric_ci(aggregate, spec.adaptive.metric) >
+                 spec.adaptive.target_ci95);
+        if (wants_more) {
+          work.target = std::min(
+              rep_cap,
+              work.runs.size() +
+                  static_cast<std::size_t>(spec.adaptive.batch));
+          still_running.push_back(std::move(work));
+        } else {
+          if (journal != nullptr) {
+            journal->append({work.cell, aggregate});
+          }
+          finished.insert_or_assign(work.cell, std::move(aggregate));
+        }
+      }
+      pending = std::move(still_running);
     }
   }
-  pool.wait();
 
   SweepResult result;
   result.name = spec.name;
@@ -134,11 +258,19 @@ SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
     CellResult cell;
     cell.point = decode_cell(spec, c);
     cell.policy_name = strategies::to_string(cell.point.policy);
-    cell.aggregate = aggregate_runs(
-        std::span<const RunRecord>(runs.data() + c * reps, reps));
+    cell.aggregate = std::move(finished.at(c));
     result.cells.push_back(std::move(cell));
   }
   return result;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
+                      const SweepOptions& options) {
+  CHRONOS_EXPECTS(factory != nullptr, "sweep needs a cell factory");
+  SweepHooks hooks;
+  hooks.run = [&factory](const SweepPoint& point, std::uint64_t seed,
+                         const SharedCell&) { return factory(point, seed); };
+  return run_sweep(spec, hooks, options);
 }
 
 }  // namespace chronos::exp

@@ -2,11 +2,22 @@
 //
 // A SweepSpec names the parameter axes, the policies under test and a
 // replication count; the engine expands the cartesian product into cells,
-// derives one deterministic seed per (cell, replication) by splitting a
-// master chronos::Rng, and runs every replication through
-// trace::run_experiment — across a thread pool when asked. Cell results are
-// written into pre-assigned slots, so the aggregated output is identical
-// for any thread count, including 1.
+// derives one deterministic seed stream per cell by splitting a master
+// chronos::Rng, and runs every replication through trace::run_experiment —
+// across a thread pool when asked. All scheduling decisions happen at
+// barriers on deterministic per-cell data, so the aggregated output is
+// identical for any thread count, including 1.
+//
+// On top of the fixed grid the engine offers:
+//  - a per-cell setup hook that runs once per cell (plan-once caching shared
+//    by every replication of the cell, keyed by cell index — never by
+//    floating-point axis values);
+//  - adaptive replication: cells keep adding replication batches, with
+//    deterministically extended seeds, until the 95% CI half-width of a
+//    chosen metric reaches a target (or a hard cap);
+//  - checkpoint/restart: finished cells stream to an append-only journal
+//    (exp/checkpoint.h) and a restarted run skips them, with the final
+//    aggregate byte-identical to an uninterrupted run.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +44,21 @@ struct Axis {
   void validate() const;
 };
 
+/// Adaptive replication: after the base `replications`, a cell keeps adding
+/// `batch` more replications until the 95% CI half-width of `metric` is at
+/// most `target_ci95`, the cell reaches `max_replications`, or — since a CI
+/// needs spread — until it has at least two runs. Disabled (the fixed grid
+/// behaviour) while `max_replications` is 0.
+struct AdaptiveSpec {
+  std::string metric = "pocd";  ///< a CellAggregate metric name
+  double target_ci95 = 0.0;
+  int batch = 1;
+  int max_replications = 0;  ///< hard cap; 0 disables adaptive replication
+
+  bool enabled() const { return max_replications > 0; }
+  void validate(int base_replications) const;
+};
+
 /// Declarative description of an experiment grid.
 struct SweepSpec {
   std::string name = "sweep";
@@ -40,6 +66,7 @@ struct SweepSpec {
   std::vector<Axis> axes;  ///< cartesian product; may be empty (one point)
   int replications = 1;
   std::uint64_t seed = 1;  ///< master seed; every cell seed derives from it
+  AdaptiveSpec adaptive;
 
   void validate() const;
 
@@ -52,7 +79,8 @@ struct SweepSpec {
 struct AxisValue {
   std::string name;
   double value = 0.0;
-  std::string label;  ///< display text: the axis label, or the value
+  std::string label;      ///< display text: the axis label, or the value
+  std::size_t index = 0;  ///< position on the axis (stable cell coordinate)
 };
 
 /// One grid cell: a policy plus one value per axis. Cells are numbered in
@@ -64,6 +92,12 @@ struct SweepPoint {
 
   /// Value of the named axis; throws PreconditionError when absent.
   double value(const std::string& axis) const;
+
+  /// Position on the named axis; throws PreconditionError when absent.
+  /// Prefer this over `value` for keying per-cell caches: two cells whose
+  /// axis values are nearly (or even exactly) equal still have distinct
+  /// indices, so index keys can never alias.
+  std::size_t index(const std::string& axis) const;
 };
 
 /// Everything the engine needs to run one replication of a cell: planned
@@ -93,6 +127,29 @@ struct CellInstance {
 using CellFactory =
     std::function<CellInstance(const SweepPoint& point, std::uint64_t seed)>;
 
+/// Per-cell state produced once by the setup hook and shared (immutably) by
+/// every replication of that cell. Planning a cell's trace is
+/// seed-independent, so replanning it per replication would waste work.
+struct SharedCell {
+  std::shared_ptr<const std::vector<trace::TracedJob>> jobs;
+  double r_min = 0.0;  ///< optional utility baseline computed at setup
+};
+
+/// Runs once per cell, before any of its replications; cached by cell index
+/// and released when the cell finishes. Must be thread-safe: the engine
+/// invokes it concurrently from pool workers (one call per cell).
+using CellSetup = std::function<SharedCell(const SweepPoint& point)>;
+
+/// Builds one replication of `point` from the cell's shared state. When the
+/// sweep has no setup hook, `shared` is empty. Must be thread-safe.
+using CellRunner = std::function<CellInstance(
+    const SweepPoint& point, std::uint64_t seed, const SharedCell& shared)>;
+
+struct SweepHooks {
+  CellRunner run;   ///< required
+  CellSetup setup;  ///< optional plan-once hook
+};
+
 /// Aggregated outcome of one cell.
 struct CellResult {
   SweepPoint point;
@@ -100,7 +157,9 @@ struct CellResult {
   CellAggregate aggregate;
 };
 
-/// Outcome of a whole sweep, cells in grid order.
+/// Outcome of a whole sweep, cells in grid order. With adaptive replication
+/// the per-cell replication count is `cells[i].aggregate.runs`;
+/// `replications` stays the spec's base count.
 struct SweepResult {
   std::string name;
   std::vector<std::string> axis_names;
@@ -111,10 +170,28 @@ struct SweepResult {
 struct SweepOptions {
   /// Worker threads; 0 means ThreadPool::hardware_threads().
   int threads = 1;
+
+  /// Path of the checkpoint journal; empty disables checkpointing. When the
+  /// file exists and matches the spec (see exp/checkpoint.h), finished
+  /// cells are restored from it instead of re-run; newly finished cells are
+  /// appended as the sweep progresses.
+  std::string journal;
+
+  /// Extra state folded into the journal fingerprint: anything the cell
+  /// hooks depend on that the spec cannot see (a manifest's trace/planner/
+  /// experiment templates, a binary's workload version). Changing it
+  /// invalidates existing journals instead of silently trusting them.
+  std::string journal_salt;
 };
 
 /// Runs the sweep. The result (and hence any report rendered from it) is
-/// byte-identical for every `options.threads` value.
+/// byte-identical for every `options.threads` value, and — when a journal
+/// is used — byte-identical between an interrupted-and-restarted run and an
+/// uninterrupted one.
+SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
+                      const SweepOptions& options = {});
+
+/// Convenience overload for sweeps without a setup hook.
 SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
                       const SweepOptions& options = {});
 

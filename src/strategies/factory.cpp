@@ -1,3 +1,5 @@
+#include <cctype>
+
 #include "common/error.h"
 #include "strategies/policies.h"
 
@@ -19,6 +21,22 @@ std::string to_string(PolicyKind kind) {
       return "S-Resume";
   }
   return "?";
+}
+
+std::optional<PolicyKind> policy_from_name(const std::string& name) {
+  std::string lowered;
+  lowered.reserve(name.size());
+  for (const char c : name) {
+    lowered += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lowered == "hadoop-ns") return PolicyKind::kHadoopNS;
+  if (lowered == "hadoop-s") return PolicyKind::kHadoopS;
+  if (lowered == "mantri") return PolicyKind::kMantri;
+  if (lowered == "clone") return PolicyKind::kClone;
+  if (lowered == "s-restart") return PolicyKind::kSRestart;
+  if (lowered == "s-resume") return PolicyKind::kSResume;
+  return std::nullopt;
 }
 
 std::unique_ptr<mapreduce::SpeculationPolicy> make_policy(

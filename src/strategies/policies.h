@@ -25,6 +25,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
@@ -43,6 +44,10 @@ enum class PolicyKind {
 
 /// Display name matching the paper's figures ("Hadoop-NS", "Clone", ...).
 std::string to_string(PolicyKind kind);
+
+/// Parses a policy name as used on CLIs and in sweep manifests
+/// ("hadoop-ns", "s-resume", ...; case-insensitive). nullopt when unknown.
+std::optional<PolicyKind> policy_from_name(const std::string& name);
 
 /// Tunables for the baseline policies.
 struct PolicyOptions {

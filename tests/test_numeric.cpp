@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "common/error.h"
@@ -104,6 +105,60 @@ TEST(ApproxEqual, RelativeAndAbsolute) {
   EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
   EXPECT_TRUE(approx_equal(1e9, 1e9 * (1.0 + 1e-10)));
   EXPECT_FALSE(approx_equal(1.0, 1.1));
+}
+
+TEST(FormatDouble, ShortestRoundTrip) {
+  EXPECT_EQ(format_double(0.3), "0.3");
+  EXPECT_EQ(format_double(0.1 + 0.2), "0.30000000000000004");
+  EXPECT_EQ(format_double(1e-6), "1e-06");
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(-2.5), "-2.5");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+  // Round trip is exact for every representable value we emit.
+  for (const double v : {0.1, 1.0 / 3.0, 1e300, 5e-324, 123456.789}) {
+    double back = 0.0;
+    ASSERT_TRUE(parse_double(format_double(v), back));
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double_fixed(1.0 / 3.0, 3), "0.333");
+  EXPECT_EQ(format_double_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_double_fixed(-1.2345, 2), "-1.23");
+  EXPECT_EQ(format_double_fixed(std::numeric_limits<double>::infinity(), 3),
+            "+inf");
+  EXPECT_EQ(format_double_fixed(-std::numeric_limits<double>::infinity(), 3),
+            "-inf");
+  EXPECT_EQ(format_double_fixed(std::nan(""), 1), "nan");
+  // Enormous magnitudes fall back to the shortest form instead of failing.
+  EXPECT_FALSE(format_double_fixed(1e300, 3).empty());
+  EXPECT_THROW(format_double_fixed(1.0, -1), PreconditionError);
+}
+
+TEST(FormatDouble, GeneralSixDigitsMatchesPrintfG) {
+  EXPECT_EQ(format_double_g(1e-6), "1e-06");
+  EXPECT_EQ(format_double_g(0.0001), "0.0001");
+  EXPECT_EQ(format_double_g(1.0 / 3.0), "0.333333");
+  EXPECT_EQ(format_double_g(123456789.0), "1.23457e+08");
+  EXPECT_EQ(format_double_g(100.0), "100");
+}
+
+TEST(ParseDouble, AcceptsFullStringsOnly) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("1e-6", v));
+  EXPECT_DOUBLE_EQ(v, 1e-6);
+  EXPECT_TRUE(parse_double("+2.5", v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(parse_double("-inf", v));
+  EXPECT_TRUE(std::isinf(v));
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("+", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+  EXPECT_FALSE(parse_double("x1.5", v));
+  EXPECT_FALSE(parse_double("1,5", v));  // never locale-dependent
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// Golden-file tests for the report emitters: the CSV/JSON/table renderings
+// of a fixed, hand-built sweep result are compared byte-for-byte against
+// committed expected files, and re-checked under a ','-decimal locale to
+// prove the emitters are locale-independent.
+//
+// To regenerate the golden files after an intentional format change, run
+// this binary with --gtest_filter=ReportGolden.* and the environment
+// variable CHRONOS_REGOLD=1, then inspect the diff under tests/golden/.
+#include <gtest/gtest.h>
+
+#include <clocale>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "exp/report.h"
+#include "exp/sweep.h"
+
+namespace chronos::exp {
+namespace {
+
+using strategies::PolicyKind;
+
+const std::string kGoldenDir = std::string(CHRONOS_TEST_DIR) + "/golden/";
+
+/// A fixed two-policy x two-workload result with awkward values: shortest
+/// and long round-trip decimals, a quoted CSV label, and a -inf utility.
+SweepResult fixed_result() {
+  SweepResult result;
+  result.name = "golden";
+  result.axis_names = {"workload"};
+  result.replications = 3;
+
+  const auto make_cell = [](std::size_t cell, PolicyKind policy,
+                            const char* name, std::size_t index,
+                            const char* label, double base) {
+    CellResult out;
+    out.point.cell = cell;
+    out.point.policy = policy;
+    out.policy_name = name;
+    out.point.coordinates = {{.name = "workload",
+                              .value = static_cast<double>(index),
+                              .label = label,
+                              .index = index}};
+    CellAggregate& agg = out.aggregate;
+    agg.runs = 3;
+    agg.jobs = 30;
+    agg.attempts_launched = 90 + cell;
+    agg.attempts_killed = 11 * cell;
+    agg.attempts_failed = cell == 3 ? 2 : 0;
+    agg.events_executed = 4321 + cell;
+    agg.pocd = {3, 0.75 + base, 0.030000000000000002, 0.0745, 0.7, 0.8};
+    agg.cost = {3, 123.456 + base, 7.5, 18.6328125, 110.0, 130.5};
+    agg.machine_time = {3, 0.1 + 0.2, 0.05, 0.124, 0.25, 0.35};
+    agg.mean_r = {3, 2.5, 0.5, 1.2421875, 2.0, 3.0};
+    if (cell < 2) {
+      agg.utility = {3, cell == 0
+                            ? -std::numeric_limits<double>::infinity()
+                            : -0.388062739504,
+                     0.001, 0.0024843749999999997, -0.39, -0.386};
+    }
+    return out;
+  };
+  result.cells.push_back(
+      make_cell(0, PolicyKind::kSResume, "S-Resume", 0, "Sort", 0.0));
+  result.cells.push_back(make_cell(1, PolicyKind::kSResume, "S-Resume", 1,
+                                   "Word, count", 0.001));
+  result.cells.push_back(
+      make_cell(2, PolicyKind::kHadoopNS, "Hadoop-NS", 0, "Sort", -0.25));
+  result.cells.push_back(make_cell(3, PolicyKind::kHadoopNS, "Hadoop-NS", 1,
+                                   "Word, count", -0.125));
+  return result;
+}
+
+std::string read_golden(const std::string& name) {
+  std::ifstream in(kGoldenDir + name, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << kGoldenDir + name;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void check_or_regold(const std::string& name, const std::string& actual) {
+  if (std::getenv("CHRONOS_REGOLD") != nullptr) {
+    write_file(kGoldenDir + name, actual);
+    return;
+  }
+  EXPECT_EQ(actual, read_golden(name)) << "golden mismatch: " << name;
+}
+
+TEST(ReportGolden, CsvMatchesCommittedBytes) {
+  check_or_regold("report_small.csv", to_csv(fixed_result()));
+}
+
+TEST(ReportGolden, JsonMatchesCommittedBytes) {
+  check_or_regold("report_small.json", to_json(fixed_result()));
+}
+
+TEST(ReportGolden, TableMatchesCommittedBytes) {
+  check_or_regold("report_small.txt", to_table(fixed_result()).str());
+}
+
+/// Locale guard: restores the C locale on scope exit.
+class ScopedLocale {
+ public:
+  explicit ScopedLocale(const char* name)
+      : ok_(std::setlocale(LC_ALL, name) != nullptr) {}
+  ~ScopedLocale() { std::setlocale(LC_ALL, "C"); }
+  bool ok() const { return ok_; }
+
+ private:
+  bool ok_;
+};
+
+TEST(ReportGolden, OutputIsLocaleIndependent) {
+  // Find an installed locale whose decimal separator is ','. Containers
+  // often ship only C/POSIX; skip (loudly) rather than fake a pass.
+  const char* candidates[] = {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8",
+                              "fr_FR.utf8",  "it_IT.UTF-8", "es_ES.UTF-8",
+                              "nl_NL.UTF-8", "de_DE",       "fr_FR"};
+  for (const char* name : candidates) {
+    ScopedLocale locale(name);
+    if (!locale.ok()) {
+      continue;
+    }
+    if (std::string(std::localeconv()->decimal_point) != ",") {
+      continue;
+    }
+    const SweepResult result = fixed_result();
+    EXPECT_EQ(to_csv(result), read_golden("report_small.csv"))
+        << "CSV bytes changed under locale " << name;
+    EXPECT_EQ(to_json(result), read_golden("report_small.json"))
+        << "JSON bytes changed under locale " << name;
+    EXPECT_EQ(to_table(result).str(), read_golden("report_small.txt"))
+        << "table bytes changed under locale " << name;
+    return;
+  }
+  GTEST_SKIP() << "no ','-decimal locale installed";
+}
+
+}  // namespace
+}  // namespace chronos::exp

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -74,6 +77,61 @@ TEST(ThreadPool, RejectsInvalidArguments) {
 
 TEST(ThreadPool, HardwareThreadsAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+// --- thread pool stress ----------------------------------------------------
+
+TEST(ThreadPoolStress, ExceptionsPropagateUnderSaturatedBoundedQueue) {
+  // A tiny bound keeps submit() blocking on backpressure while every task
+  // throws: the waking path after a failed task must still release bounded
+  // submitters, and wait() must surface the first error.
+  ThreadPool pool(2, /*max_pending=*/2);
+  std::atomic<int> attempted{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&attempted] {
+      attempted.fetch_add(1);
+      throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(attempted.load(), 64);  // failures never wedge the queue
+
+  // The pool stays usable: errors are consumed one wait() at a time.
+  pool.submit([] { throw std::logic_error("again"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsTasksStillQueued) {
+  // Destroying the pool without wait() must run every queued task to
+  // completion before joining — no drops, no deadlock, no terminate.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2, /*max_pending=*/4);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // No wait(): the destructor owns the drain.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolStress, DestructorSwallowsPendingTaskError) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("unobserved"); });
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // must not std::terminate; later tasks still ran
+  EXPECT_EQ(ran.load(), 8);
 }
 
 // --- summarize / aggregate ------------------------------------------------
@@ -288,6 +346,171 @@ TEST(RunSweep, FactoryErrorsPropagate) {
     throw std::runtime_error("factory exploded");
   };
   EXPECT_THROW(run_sweep(spec, broken, {.threads = 2}), std::runtime_error);
+}
+
+// --- setup hook and adaptive replication -----------------------------------
+
+/// Hooks whose setup builds each cell's trace once; the job count encodes
+/// the cell's axis index so aliasing between cells is detectable in the
+/// aggregates.
+SweepHooks counting_hooks(std::atomic<int>& setups) {
+  SweepHooks hooks;
+  hooks.setup = [&setups](const SweepPoint& point) {
+    setups.fetch_add(1);
+    trace::TraceConfig config;
+    config.num_jobs = 4 + static_cast<int>(point.index("x"));
+    config.duration_hours = 0.2;
+    config.mean_tasks = 4.0;
+    config.max_tasks = 10;
+    config.seed = 5;
+    auto jobs = generate_trace(config);
+    trace::PlannerConfig planner;
+    const trace::SpotPriceModel prices;
+    plan_trace(jobs, point.policy, planner, prices);
+    SharedCell shared;
+    shared.jobs = std::make_shared<const std::vector<trace::TracedJob>>(
+        std::move(jobs));
+    return shared;
+  };
+  hooks.run = [](const SweepPoint& point, std::uint64_t seed,
+                 const SharedCell& shared) {
+    CellInstance instance;
+    instance.jobs = shared.jobs;
+    sim::NodeConfig node;
+    node.containers = 4;
+    instance.config.policy = point.policy;
+    instance.config.cluster = sim::ClusterConfig::uniform(4, node);
+    instance.config.seed = seed;
+    return instance;
+  };
+  return hooks;
+}
+
+TEST(CellSetupHook, RunsOncePerCellAndSharesAcrossReplications) {
+  const SweepSpec spec = tiny_spec();  // 6 cells x 2 replications
+  std::atomic<int> setups{0};
+  const auto result = run_sweep(spec, counting_hooks(setups), {.threads = 4});
+  EXPECT_EQ(setups.load(), 6);  // once per cell, never per replication
+  for (const auto& cell : result.cells) {
+    // jobs-per-run encodes the axis index the setup hook saw.
+    const auto jobs_per_run = cell.aggregate.jobs / cell.aggregate.runs;
+    EXPECT_EQ(jobs_per_run, 4 + cell.point.index("x"));
+  }
+}
+
+TEST(CellSetupHook, NearlyEqualAxisValuesDoNotAlias) {
+  // 0.1 + 0.2 != 0.3 by one ulp: a cache keyed on the double value (as the
+  // old bench::parallel_plan_cells float-keyed maps were) is one rounding
+  // away from aliasing or missing such cells. Keying on the axis *index*
+  // makes collisions impossible; each cell must get its own setup product.
+  SweepSpec spec;
+  spec.name = "alias";
+  spec.policies = {PolicyKind::kHadoopNS};
+  spec.axes = {{.name = "x", .values = {0.3, 0.1 + 0.2}, .labels = {}}};
+  spec.replications = 1;
+  ASSERT_NE(spec.axes[0].values[0], spec.axes[0].values[1]);
+
+  std::atomic<int> setups{0};
+  const auto result = run_sweep(spec, counting_hooks(setups), {.threads = 2});
+  EXPECT_EQ(setups.load(), 2);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].point.index("x"), 0u);
+  EXPECT_EQ(result.cells[1].point.index("x"), 1u);
+  // Distinct setup products: the index-4 cell has 4 jobs, index-1 cell 5.
+  EXPECT_EQ(result.cells[0].aggregate.jobs, 4u);
+  EXPECT_EQ(result.cells[1].aggregate.jobs, 5u);
+}
+
+TEST(SweepPoint, IndexLooksUpAxisPosition) {
+  SweepPoint point;
+  point.coordinates = {
+      {.name = "theta", .value = 1e-4, .label = "1e-4", .index = 2}};
+  EXPECT_EQ(point.index("theta"), 2u);
+  EXPECT_THROW(point.index("beta"), PreconditionError);
+}
+
+TEST(Adaptive, ValidatesItsInputs) {
+  SweepSpec spec = tiny_spec();
+  spec.adaptive.max_replications = 8;  // enabled, but target_ci95 unset
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.adaptive.target_ci95 = 0.1;
+  spec.adaptive.batch = 0;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.adaptive.batch = 2;
+  spec.adaptive.max_replications = 1;  // below the base replication count
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.adaptive.max_replications = 8;
+  spec.adaptive.metric = "latency";  // not a CellAggregate metric
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.adaptive.metric = "machine_time";
+  EXPECT_NO_THROW(spec.validate());
+}
+
+TEST(Adaptive, LooseTargetStopsAtBaseReplications) {
+  SweepSpec spec = tiny_spec();
+  spec.adaptive.metric = "pocd";
+  spec.adaptive.target_ci95 = 1e6;  // any CI satisfies it
+  spec.adaptive.batch = 2;
+  spec.adaptive.max_replications = 10;
+  const auto result = run_sweep(spec, tiny_cell, {.threads = 4});
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.aggregate.runs, 2u);  // base count, no extra batches
+  }
+}
+
+TEST(Adaptive, UnreachableTargetStopsAtTheCap) {
+  SweepSpec spec = tiny_spec();
+  spec.adaptive.metric = "machine_time";
+  spec.adaptive.target_ci95 = 1e-12;  // machine-time spread can't reach it
+  spec.adaptive.batch = 3;
+  spec.adaptive.max_replications = 7;  // not a multiple of the batch size
+  const auto result = run_sweep(spec, tiny_cell, {.threads = 4});
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.aggregate.runs, 7u);  // capped, batch clipped to the cap
+  }
+}
+
+TEST(Adaptive, SingleBaseReplicationStillEstimatesACi) {
+  // One base replication gives no spread; adaptivity must force a second
+  // run before it can conclude anything.
+  SweepSpec spec = tiny_spec();
+  spec.replications = 1;
+  spec.adaptive.metric = "pocd";
+  spec.adaptive.target_ci95 = 1e6;
+  spec.adaptive.batch = 1;
+  spec.adaptive.max_replications = 6;
+  const auto result = run_sweep(spec, tiny_cell, {.threads = 2});
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.aggregate.runs, 2u);
+  }
+}
+
+TEST(Adaptive, ResultsAreIdenticalForAnyThreadCount) {
+  SweepSpec spec = tiny_spec();
+  spec.adaptive.metric = "machine_time";
+  spec.adaptive.target_ci95 = 1e-12;
+  spec.adaptive.batch = 2;
+  spec.adaptive.max_replications = 6;
+  const auto serial = run_sweep(spec, tiny_cell, {.threads = 1});
+  const auto parallel = run_sweep(spec, tiny_cell, {.threads = 8});
+  EXPECT_EQ(to_csv(serial), to_csv(parallel));
+  EXPECT_EQ(to_json(serial), to_json(parallel));
+}
+
+TEST(Adaptive, ExtendedSeedsExtendTheBaseSequence) {
+  // The first `base` replications of an adaptive cell use exactly the seeds
+  // a non-adaptive run would: adaptivity extends the per-cell seed stream,
+  // it never reshuffles it. With a loose target the adaptive sweep *is* the
+  // fixed sweep.
+  SweepSpec fixed = tiny_spec();
+  SweepSpec adaptive = tiny_spec();
+  adaptive.adaptive.metric = "pocd";
+  adaptive.adaptive.target_ci95 = 1e6;
+  adaptive.adaptive.batch = 2;
+  adaptive.adaptive.max_replications = 12;
+  const auto fixed_result = run_sweep(fixed, tiny_cell, {.threads = 3});
+  const auto adaptive_result = run_sweep(adaptive, tiny_cell, {.threads = 3});
+  EXPECT_EQ(to_csv(fixed_result), to_csv(adaptive_result));
 }
 
 // --- reports --------------------------------------------------------------

@@ -1,0 +1,177 @@
+// sweeprun: run an experiment grid described by a manifest file.
+//
+// New grids become config files instead of C++ binaries: the manifest
+// declares the axes, policies, replication policy (fixed or CI-adaptive),
+// trace/planner templates and outputs (see src/exp/manifest.h for the
+// format; checked-in examples live under manifests/).
+//
+//   sweeprun MANIFEST [--threads N] [--reps N] [--journal PATH] [--fresh]
+//            [--csv PATH] [--json PATH] [--no-table]
+//
+// CLI flags override the manifest's [output] section and replication count.
+// With a journal configured, finished cells stream to it and a rerun after
+// a crash (or a kill) skips them — the final reports are byte-identical to
+// an uninterrupted run at any thread count.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "exp/checkpoint.h"
+#include "exp/manifest.h"
+#include "exp/report.h"
+#include "exp/sweep.h"
+#include "exp/threadpool.h"
+
+namespace {
+
+using namespace chronos;  // NOLINT
+
+struct Cli {
+  std::string manifest_path;
+  int threads = 0;  ///< 0 = all hardware threads
+  int reps = 0;     ///< 0 = manifest value
+  std::string journal;
+  std::string csv;
+  std::string json;
+  bool fresh = false;
+  bool no_table = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s MANIFEST [--threads N] [--reps N] "
+               "[--journal PATH] [--fresh] [--csv PATH] [--json PATH] "
+               "[--no-table]\n",
+               argv0);
+  std::exit(2);
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  const auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value after %s\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      cli.threads = std::atoi(value(i));
+      if (cli.threads < 0) usage(argv[0]);
+    } else if (arg == "--reps") {
+      cli.reps = std::atoi(value(i));
+      if (cli.reps < 0) usage(argv[0]);
+    } else if (arg == "--journal") {
+      cli.journal = value(i);
+    } else if (arg == "--csv") {
+      cli.csv = value(i);
+    } else if (arg == "--json") {
+      cli.json = value(i);
+    } else if (arg == "--fresh") {
+      cli.fresh = true;
+    } else if (arg == "--no-table") {
+      cli.no_table = true;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      usage(argv[0]);
+    } else if (cli.manifest_path.empty()) {
+      cli.manifest_path = arg;
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cli.manifest_path.empty()) {
+    usage(argv[0]);
+  }
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli = parse_cli(argc, argv);
+  try {
+    exp::Manifest manifest = exp::load_manifest(cli.manifest_path);
+    if (cli.reps > 0) {
+      manifest.spec.replications = cli.reps;
+      if (manifest.spec.adaptive.enabled() &&
+          manifest.spec.adaptive.max_replications < cli.reps) {
+        manifest.spec.adaptive.max_replications = cli.reps;
+      }
+    }
+    if (!cli.csv.empty()) manifest.outputs.csv = cli.csv;
+    if (!cli.json.empty()) manifest.outputs.json = cli.json;
+    if (!cli.journal.empty()) manifest.outputs.journal = cli.journal;
+    if (cli.no_table) manifest.outputs.table = false;
+
+    exp::SweepOptions options;
+    options.threads = cli.threads;
+    options.journal = manifest.outputs.journal;
+    // The salt extends the journal fingerprint to the trace/planner/
+    // experiment templates: editing them invalidates an old journal
+    // instead of silently resuming the old configuration's results.
+    options.journal_salt = exp::manifest_journal_salt(manifest);
+    if (cli.fresh && !options.journal.empty()) {
+      std::remove(options.journal.c_str());
+    }
+
+    const std::size_t cells = manifest.spec.num_cells();
+    std::size_t resumed = 0;
+    if (!options.journal.empty()) {
+      const auto contents = exp::read_journal(
+          options.journal,
+          exp::spec_fingerprint(manifest.spec, options.journal_salt));
+      if (contents.found && !contents.compatible) {
+        std::fprintf(stderr,
+                     "note: journal '%s' belongs to a different sweep; "
+                     "starting fresh\n",
+                     options.journal.c_str());
+      }
+      resumed = contents.cells.size();
+    }
+
+    std::printf("sweep '%s': %zu cells x %d replication(s)%s\n",
+                manifest.spec.name.c_str(), cells,
+                manifest.spec.replications,
+                manifest.spec.adaptive.enabled() ? " (adaptive)" : "");
+    if (manifest.spec.adaptive.enabled()) {
+      std::printf("  adaptive: %s CI95 <= %g, batches of %d, cap %d\n",
+                  manifest.spec.adaptive.metric.c_str(),
+                  manifest.spec.adaptive.target_ci95,
+                  manifest.spec.adaptive.batch,
+                  manifest.spec.adaptive.max_replications);
+    }
+    if (resumed > 0) {
+      std::printf("  resuming from journal: %zu/%zu cells already done\n",
+                  resumed, cells);
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const exp::SweepResult result =
+        exp::run_sweep(manifest.spec, exp::make_hooks(manifest), options);
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    std::printf("  finished in %.3f s\n\n", seconds);
+
+    if (manifest.outputs.table) {
+      exp::to_table(result).print();
+    }
+    if (!manifest.outputs.csv.empty()) {
+      exp::write_file(manifest.outputs.csv, exp::to_csv(result));
+      std::printf("\nCSV written to %s\n", manifest.outputs.csv.c_str());
+    }
+    if (!manifest.outputs.json.empty()) {
+      exp::write_file(manifest.outputs.json, exp::to_json(result));
+      std::printf("\nJSON written to %s\n", manifest.outputs.json.c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "sweeprun: %s\n", error.what());
+    return 1;
+  }
+}
