@@ -285,6 +285,134 @@ JournalContents read_journal(const std::string& path,
   return contents;
 }
 
+std::string shard_journal_path(const std::string& dir,
+                               const std::string& name, std::size_t index,
+                               std::size_t count) {
+  CHRONOS_EXPECTS(count >= 1, "shard count must be >= 1");
+  CHRONOS_EXPECTS(index < count,
+                  "shard index " + std::to_string(index) +
+                      " out of range for " + std::to_string(count) +
+                      " shard(s)");
+  std::string path = dir.empty() ? std::string(".") : dir;
+  if (path.back() != '/') {
+    path += '/';
+  }
+  path += name;
+  path += ".shard-";
+  path += std::to_string(index + 1);
+  path += "-of-";
+  path += std::to_string(count);
+  path += ".journal";
+  return path;
+}
+
+MergeStats merge_journals(const std::vector<std::string>& paths,
+                          const std::string& fingerprint,
+                          std::size_t num_cells) {
+  CHRONOS_EXPECTS(!paths.empty(), "merge needs at least one journal");
+  MergeStats merged;
+  // Which journal first finished each cell, plus the cell's exact encoded
+  // line: conflicts are detected on bytes, the same currency the journals
+  // and reports deal in, so "equal" can never mean "close enough".
+  std::map<std::size_t, std::pair<std::string, std::string>> first_seen;
+  for (const std::string& path : paths) {
+    const JournalContents contents = read_journal(path, fingerprint);
+    CHRONOS_EXPECTS(contents.found,
+                    "shard journal '" + path + "' is missing or unreadable");
+    CHRONOS_EXPECTS(contents.compatible,
+                    "shard journal '" + path +
+                        "' belongs to a different sweep (fingerprint "
+                        "mismatch); refusing to merge");
+    for (const auto& [cell, aggregate] : contents.cells) {
+      CHRONOS_EXPECTS(cell < num_cells,
+                      "shard journal '" + path + "' has cell " +
+                          std::to_string(cell) + ", beyond the " +
+                          std::to_string(num_cells) + "-cell grid");
+      const std::string line = encode_journal_entry({cell, aggregate});
+      const auto [it, inserted] =
+          first_seen.try_emplace(cell, path, line);
+      if (!inserted) {
+        CHRONOS_EXPECTS(it->second.second == line,
+                        "cell " + std::to_string(cell) +
+                            " appears in '" + it->second.first + "' and '" +
+                            path +
+                            "' with different aggregates; the shards did "
+                            "not run the same sweep");
+        ++merged.duplicates;
+        continue;
+      }
+      merged.cells.insert_or_assign(cell, aggregate);
+    }
+  }
+  if (merged.cells.size() != num_cells) {
+    std::string missing;
+    std::size_t listed = 0;
+    for (std::size_t c = 0; c < num_cells && listed < 8; ++c) {
+      if (merged.cells.find(c) == merged.cells.end()) {
+        missing += missing.empty() ? "" : ", ";
+        missing += std::to_string(c);
+        ++listed;
+      }
+    }
+    CHRONOS_EXPECTS(false,
+                    "merged journals cover " +
+                        std::to_string(merged.cells.size()) + " of " +
+                        std::to_string(num_cells) +
+                        " cells; missing cell(s): " + missing +
+                        (merged.cells.size() + listed < num_cells ? ", ..."
+                                                                  : ""));
+  }
+  return merged;
+}
+
+CompactStats compact_journal(const std::string& path,
+                             const std::string& fingerprint) {
+  const JournalContents contents = read_journal(path, fingerprint);
+  CHRONOS_EXPECTS(contents.found,
+                  "journal '" + path + "' is missing or unreadable");
+  CHRONOS_EXPECTS(contents.compatible,
+                  "journal '" + path +
+                      "' belongs to a different sweep (fingerprint "
+                      "mismatch); refusing to compact");
+  CompactStats stats;
+  stats.entries = contents.cells.size();
+  std::error_code size_error;
+  stats.bytes_before = static_cast<std::size_t>(
+      std::filesystem::file_size(path, size_error));
+
+  std::string compacted(kHeaderPrefix);
+  compacted += fingerprint;
+  compacted += '\n';
+  for (const auto& [cell, aggregate] : contents.cells) {
+    compacted += encode_journal_entry({cell, aggregate});
+    compacted += '\n';
+  }
+  stats.bytes_after = compacted.size();
+
+  // Write-then-rename: readers (and a crash) only ever see either the old
+  // journal or the complete compacted one, never a half-written file.
+  const std::string temp = path + ".compact.tmp";
+  std::FILE* file = std::fopen(temp.c_str(), "wb");
+  CHRONOS_EXPECTS(file != nullptr,
+                  "cannot open '" + temp + "' for writing");
+  const std::size_t written =
+      std::fwrite(compacted.data(), 1, compacted.size(), file);
+  const bool flushed = std::fflush(file) == 0;
+  std::fclose(file);
+  if (written != compacted.size() || !flushed) {
+    std::remove(temp.c_str());
+    CHRONOS_EXPECTS(false, "short write to '" + temp + "'");
+  }
+  std::error_code rename_error;
+  std::filesystem::rename(temp, path, rename_error);
+  if (rename_error) {
+    std::remove(temp.c_str());
+    CHRONOS_EXPECTS(false, "cannot rename '" + temp + "' over '" + path +
+                               "': " + rename_error.message());
+  }
+  return stats;
+}
+
 JournalWriter::JournalWriter(const std::string& path,
                              const std::string& fingerprint, bool resume,
                              std::size_t resume_valid_bytes)

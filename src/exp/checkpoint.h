@@ -10,12 +10,14 @@
 // checksum and is ignored, losing only that cell's partial work.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <map>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "exp/aggregate.h"
 
@@ -60,6 +62,51 @@ struct JournalContents {
 /// are read up to the first invalid line (a crash's torn tail); everything
 /// before it is returned. A missing file yields {found = false}.
 JournalContents read_journal(const std::string& path,
+                             const std::string& fingerprint);
+
+/// Canonical path of one shard's journal inside a shared journal directory:
+/// `<dir>/<name>.shard-<index+1>-of-<count>.journal` (1-based in the file
+/// name, matching sweeprun's --shard i/N). N machines pointed at the same
+/// directory therefore never collide, and a merge can enumerate every
+/// expected shard journal from (dir, name, count) alone.
+std::string shard_journal_path(const std::string& dir,
+                               const std::string& name, std::size_t index,
+                               std::size_t count);
+
+/// Fused view of several shard journals.
+struct MergeStats {
+  std::map<std::size_t, CellAggregate> cells;  ///< the single-run cell map
+  std::size_t duplicates = 0;  ///< cells found identically in >1 journal
+};
+
+/// Merges per-shard journals into the cell map a single uninterrupted run
+/// would have produced. Every journal must exist and carry `fingerprint`;
+/// the fused map must cover exactly the cells [0, num_cells). Throws
+/// PreconditionError on a missing or foreign journal, on a conflict (the
+/// same cell with different aggregates in two journals — overlapping
+/// identical entries are deduplicated instead), and on a gap (cells no
+/// journal finished). Torn tails are dropped exactly as read_journal does,
+/// but a torn shard then surfaces as a gap rather than a partial result.
+MergeStats merge_journals(const std::vector<std::string>& paths,
+                          const std::string& fingerprint,
+                          std::size_t num_cells);
+
+/// Outcome of compact_journal.
+struct CompactStats {
+  std::size_t entries = 0;      ///< entries in the compacted file
+  std::size_t bytes_before = 0;
+  std::size_t bytes_after = 0;
+};
+
+/// Rewrites a journal as its minimal equivalent: the header plus one entry
+/// per cell (the last valid occurrence, i.e. what read_journal yields),
+/// sorted by cell index, dropping duplicates and any torn tail. The rewrite
+/// goes to a temp file that atomically renames over the original, so a
+/// crash mid-compaction leaves the old journal intact. Resuming from a
+/// compacted journal is identical to resuming from the original. Throws
+/// PreconditionError when the journal is missing or does not carry
+/// `fingerprint`.
+CompactStats compact_journal(const std::string& path,
                              const std::string& fingerprint);
 
 /// Append-only journal writer. With `resume` set the file is first cut back

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string_view>
 #include <system_error>
@@ -488,6 +489,25 @@ Manifest parse_manifest(const std::string& text) {
     manifest.outputs.json = reader.get_string("json", "");
     manifest.outputs.journal = reader.get_string("journal", "");
     manifest.outputs.table = reader.get_bool("table", true);
+  }
+
+  {
+    const SectionReader reader(find_section(sections, "shard"));
+    if (reader.present()) {
+      const IniEntry& count = reader.require("count");
+      // Range-checked before narrowing: a count beyond int must fail, not
+      // silently wrap into a different (valid-looking) shard layout.
+      const long long parsed = reader.get_int("count", 0);
+      if (parsed < 1 || parsed > std::numeric_limits<int>::max()) {
+        fail(count.line, "shard count must be >= 1, got '" + count.value +
+                             "'");
+      }
+      manifest.shard.count = static_cast<int>(parsed);
+      manifest.shard.dir = reader.get_string("dir", ".");
+      if (manifest.shard.dir.empty()) {
+        fail(reader.find("dir")->line, "shard dir must not be empty");
+      }
+    }
   }
 
   // Reject anything the readers above did not claim: a typoed key or

@@ -34,6 +34,10 @@
 //   csv = fig3.csv
 //   journal = fig3.journal
 //
+//   [shard]                 # optional: cluster sharding defaults
+//   count = 4               # sweeprun --shard i/4 on each machine,
+//   dir = journals          # per-shard journals in this shared directory
+//
 // Syntax: "[section]" headers, "key = value" pairs, "#"/";" full-line
 // comments plus "#" inline comments, comma-separated lists, double quotes
 // around list items that contain commas. Parsing is locale-independent and
@@ -73,6 +77,16 @@ struct ManifestOutputs {
   bool table = true;    ///< print the fixed-width table to stdout
 };
 
+/// Optional [shard] section: defaults for process-level sharding, so a
+/// cluster recipe ("run shard i/N on machine i, then merge") lives in the
+/// manifest instead of every machine's command line. Never part of the
+/// journal fingerprint — how a grid is split across processes must not
+/// change its numbers.
+struct ManifestShard {
+  int count = 0;          ///< default shard count; 0 = unsharded
+  std::string dir = "."; ///< shared directory for the per-shard journals
+};
+
 /// Everything a manifest declares. `spec` is fully validated; the remaining
 /// fields parameterize the cell factory that make_hooks builds.
 struct Manifest {
@@ -93,6 +107,7 @@ struct Manifest {
   double r_min_offset = 0.0;  ///< added to R_min (clamped at 0), cf. fig4
 
   ManifestOutputs outputs;
+  ManifestShard shard;
 };
 
 /// Parses manifest text. Throws PreconditionError with a line-numbered

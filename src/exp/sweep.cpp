@@ -95,6 +95,30 @@ void AdaptiveSpec::validate(int base_replications) const {
                   "unknown adaptive metric '" + metric + "'");
 }
 
+void ShardSpec::validate() const {
+  CHRONOS_EXPECTS(count >= 1, "shard count must be >= 1");
+  CHRONOS_EXPECTS(index < count,
+                  "shard index " + std::to_string(index) +
+                      " out of range for " + std::to_string(count) +
+                      " shard(s)");
+}
+
+ShardRange shard_cell_range(std::size_t num_cells, const ShardSpec& shard) {
+  shard.validate();
+  // Balanced contiguous ranges: sizes differ by at most one, the union is
+  // [0, num_cells) and distinct shards never overlap. The intermediate
+  // product is widened so huge grid x shard-count combinations cannot
+  // overflow and silently break disjointness.
+  const auto cut = [&](std::size_t i) {
+    return static_cast<std::size_t>(static_cast<unsigned __int128>(num_cells) *
+                                    i / shard.count);
+  };
+  ShardRange range;
+  range.begin = cut(shard.index);
+  range.end = cut(shard.index + 1);
+  return range;
+}
+
 void SweepSpec::validate() const {
   CHRONOS_EXPECTS(!policies.empty(), "sweep needs at least one policy");
   CHRONOS_EXPECTS(replications >= 1, "sweep needs at least one replication");
@@ -137,6 +161,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
   CHRONOS_EXPECTS(options.threads >= 0, "threads must be >= 0");
 
   const std::size_t cells = spec.num_cells();
+  const ShardRange owned = shard_cell_range(cells, options.shard);
   const std::size_t base_reps = static_cast<std::size_t>(spec.replications);
   const std::size_t rep_cap =
       spec.adaptive.enabled()
@@ -177,7 +202,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
   }
 
   std::vector<CellWork> pending;
-  for (std::size_t c = 0; c < cells; ++c) {
+  for (std::size_t c = owned.begin; c < owned.end; ++c) {
     if (finished.find(c) != finished.end()) {
       continue;
     }
@@ -247,18 +272,36 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
     }
   }
 
+  // A sharded run reports only its own slice; restored journal entries
+  // outside it (say, resuming a shard from a fused journal) are dropped.
+  std::map<std::size_t, CellAggregate> owned_cells;
+  for (std::size_t c = owned.begin; c < owned.end; ++c) {
+    owned_cells.insert_or_assign(c, std::move(finished.at(c)));
+  }
+  return assemble_result(spec, owned_cells);
+}
+
+SweepResult assemble_result(
+    const SweepSpec& spec,
+    const std::map<std::size_t, CellAggregate>& cells) {
+  spec.validate();
+  const std::size_t num_cells = spec.num_cells();
   SweepResult result;
   result.name = spec.name;
   result.replications = spec.replications;
   for (const Axis& axis : spec.axes) {
     result.axis_names.push_back(axis.name);
   }
-  result.cells.reserve(cells);
-  for (std::size_t c = 0; c < cells; ++c) {
+  result.cells.reserve(cells.size());
+  for (const auto& [c, aggregate] : cells) {
+    CHRONOS_EXPECTS(c < num_cells,
+                    "cell index " + std::to_string(c) +
+                        " out of range for a " + std::to_string(num_cells) +
+                        "-cell sweep");
     CellResult cell;
     cell.point = decode_cell(spec, c);
     cell.policy_name = strategies::to_string(cell.point.policy);
-    cell.aggregate = std::move(finished.at(c));
+    cell.aggregate = aggregate;
     result.cells.push_back(std::move(cell));
   }
   return result;

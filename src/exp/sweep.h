@@ -20,8 +20,10 @@
 //    aggregate byte-identical to an uninterrupted run.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -167,9 +169,42 @@ struct SweepResult {
   std::vector<CellResult> cells;
 };
 
+/// One shard of a cell grid for process-level sharding: shard `index` of
+/// `count` owns the contiguous, balanced cell range
+/// [num_cells*index/count, num_cells*(index+1)/count). Shards are disjoint
+/// and cover every cell. Sharding only filters which cells a process runs —
+/// per-cell seed streams are still split off the master in full grid order,
+/// so any shard assignment (including none) yields identical numbers and
+/// per-shard journals merge to the exact single-run result.
+struct ShardSpec {
+  std::size_t index = 0;  ///< 0-based
+  std::size_t count = 1;  ///< total shards; 1 = unsharded
+
+  bool enabled() const { return count > 1; }
+  void validate() const;
+};
+
+/// Half-open cell range [begin, end).
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool contains(std::size_t cell) const { return cell >= begin && cell < end; }
+};
+
+/// The cell range `shard` owns in a grid of `num_cells` cells.
+ShardRange shard_cell_range(std::size_t num_cells, const ShardSpec& shard);
+
 struct SweepOptions {
   /// Worker threads; 0 means ThreadPool::hardware_threads().
   int threads = 1;
+
+  /// Which slice of the grid this process runs; default is the whole grid.
+  /// A sharded run's SweepResult covers only the owned cells — render the
+  /// full reports by merging the shard journals (exp/checkpoint.h) and
+  /// passing the fused cell map to assemble_result.
+  ShardSpec shard;
 
   /// Path of the checkpoint journal; empty disables checkpointing. When the
   /// file exists and matches the spec (see exp/checkpoint.h), finished
@@ -190,6 +225,14 @@ struct SweepOptions {
 /// uninterrupted one.
 SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
                       const SweepOptions& options = {});
+
+/// Builds a SweepResult from already-aggregated cells (journal entries, a
+/// shard merge), one CellResult per map entry in cell order. Every key must
+/// be a valid cell index of `spec`. Rendering the result of a full map is
+/// byte-identical to the report an uninterrupted run_sweep would produce.
+SweepResult assemble_result(
+    const SweepSpec& spec,
+    const std::map<std::size_t, CellAggregate>& cells);
 
 /// Convenience overload for sweeps without a setup hook.
 SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,

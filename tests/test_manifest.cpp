@@ -234,6 +234,48 @@ TEST(Manifest, JournalSaltTracksCellTemplatesButNotOutputs) {
             base_salt);
 }
 
+TEST(Manifest, ParsesAndValidatesTheShardSection) {
+  const Manifest manifest = parse_manifest(
+      "[sweep]\npolicies = clone\n[shard]\ncount = 4\ndir = journals\n");
+  EXPECT_EQ(manifest.shard.count, 4);
+  EXPECT_EQ(manifest.shard.dir, "journals");
+
+  // Defaults: unsharded, journals in the working directory.
+  const Manifest plain = parse_manifest("[sweep]\npolicies = clone\n");
+  EXPECT_EQ(plain.shard.count, 0);
+  EXPECT_EQ(plain.shard.dir, ".");
+
+  expect_parse_error("[sweep]\npolicies = clone\n[shard]\ndir = x\n",
+                     "missing required key 'count'");
+  expect_parse_error("[sweep]\npolicies = clone\n[shard]\ncount = 0\n",
+                     "shard count must be >= 1");
+  expect_parse_error("[sweep]\npolicies = clone\n[shard]\ncount = -2\n",
+                     "shard count must be >= 1");
+  // Beyond int: must be rejected, never narrowed into a plausible count.
+  expect_parse_error(
+      "[sweep]\npolicies = clone\n[shard]\ncount = 4294967298\n",
+      "shard count must be >= 1");
+  expect_parse_error("[sweep]\npolicies = clone\n[shard]\ncount = two\n",
+                     "not an integer");
+  expect_parse_error(
+      "[sweep]\npolicies = clone\n[shard]\ncount = 2\ndir =\n",
+      "shard dir must not be empty");
+  expect_parse_error(
+      "[sweep]\npolicies = clone\n[shard]\ncount = 2\nmachines = 9\n",
+      "unknown key 'machines'");
+}
+
+TEST(Manifest, ShardSectionNeverChangesTheJournalSalt) {
+  // How a grid is split across processes must not invalidate journals:
+  // shard journals and the unsharded journal share one fingerprint.
+  const std::string unsharded = manifest_journal_salt(
+      parse_manifest("[sweep]\npolicies = clone\n[trace]\nseed = 11\n"));
+  const std::string sharded = manifest_journal_salt(parse_manifest(
+      "[sweep]\npolicies = clone\n[trace]\nseed = 11\n"
+      "[shard]\ncount = 8\ndir = journals\n"));
+  EXPECT_EQ(unsharded, sharded);
+}
+
 TEST(Manifest, EndToEndRunMatchesHandBuiltSweep) {
   const Manifest manifest = parse_manifest(R"(
 [sweep]

@@ -7,16 +7,29 @@
 //
 //   sweeprun MANIFEST [--threads N] [--reps N] [--journal PATH] [--fresh]
 //            [--csv PATH] [--json PATH] [--no-table]
+//            [--shard I/N] [--shard-dir DIR] [--merge [N]] [--compact]
 //
-// CLI flags override the manifest's [output] section and replication count.
-// With a journal configured, finished cells stream to it and a rerun after
-// a crash (or a kill) skips them — the final reports are byte-identical to
-// an uninterrupted run at any thread count.
+// CLI flags override the manifest's [output] and [shard] sections and the
+// replication count. With a journal configured, finished cells stream to it
+// and a rerun after a crash (or a kill) skips them — the final reports are
+// byte-identical to an uninterrupted run at any thread count.
+//
+// Cluster sharding: `--shard I/N` runs only shard I's deterministic cell
+// range and journals it to `<shard-dir>/<name>.shard-I-of-N.journal`; run
+// the N shards on N machines against one shared directory, then `--merge`
+// on any of them validates the shard fingerprints, fuses the entries
+// (overlap/gap/conflict are hard errors) and renders reports byte-identical
+// to a single unsharded run. `--compact` rewrites a journal as its minimal
+// deduplicated equivalent (atomic rename), which resumes identically.
+#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <string>
+#include <system_error>
+#include <vector>
 
 #include "exp/checkpoint.h"
 #include "exp/manifest.h"
@@ -35,17 +48,34 @@ struct Cli {
   std::string journal;
   std::string csv;
   std::string json;
+  std::string shard_dir;
   bool fresh = false;
   bool no_table = false;
+  std::size_t shard_index = 0;  ///< 0-based; valid when shard_count > 0
+  std::size_t shard_count = 0;  ///< 0 = no --shard flag
+  bool merge = false;
+  std::size_t merge_count = 0;  ///< 0 = from --shard or the manifest
+  bool compact = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s MANIFEST [--threads N] [--reps N] "
                "[--journal PATH] [--fresh] [--csv PATH] [--json PATH] "
-               "[--no-table]\n",
+               "[--no-table] [--shard I/N] [--shard-dir DIR] [--merge [N]] "
+               "[--compact]\n",
                argv0);
   std::exit(2);
+}
+
+bool parse_size(const std::string& text, std::size_t& out) {
+  if (text.empty()) {
+    return false;
+  }
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc() &&
+         result.ptr == text.data() + text.size();
 }
 
 Cli parse_cli(int argc, char** argv) {
@@ -71,6 +101,38 @@ Cli parse_cli(int argc, char** argv) {
       cli.csv = value(i);
     } else if (arg == "--json") {
       cli.json = value(i);
+    } else if (arg == "--shard-dir") {
+      cli.shard_dir = value(i);
+    } else if (arg == "--shard") {
+      // "I/N", 1-based: --shard 2/5 is the second of five shards.
+      const std::string spec = value(i);
+      const std::size_t slash = spec.find('/');
+      std::size_t index = 0;
+      std::size_t count = 0;
+      if (slash == std::string::npos ||
+          !parse_size(spec.substr(0, slash), index) ||
+          !parse_size(spec.substr(slash + 1), count) || index < 1 ||
+          index > count) {
+        std::fprintf(stderr,
+                     "--shard wants I/N with 1 <= I <= N, got '%s'\n",
+                     spec.c_str());
+        std::exit(2);
+      }
+      cli.shard_index = index - 1;
+      cli.shard_count = count;
+    } else if (arg == "--merge") {
+      cli.merge = true;
+      // Optional shard count: "--merge 5". Without it the count comes from
+      // --shard I/N or the manifest's [shard] section. Parsed into a local
+      // so a non-numeric next argument (say, a manifest path starting with
+      // a digit) cannot leave a half-parsed count behind.
+      std::size_t count = 0;
+      if (i + 1 < argc && parse_size(argv[i + 1], count) && count > 0) {
+        cli.merge_count = count;
+        ++i;
+      }
+    } else if (arg == "--compact") {
+      cli.compact = true;
     } else if (arg == "--fresh") {
       cli.fresh = true;
     } else if (arg == "--no-table") {
@@ -87,15 +149,118 @@ Cli parse_cli(int argc, char** argv) {
   if (cli.manifest_path.empty()) {
     usage(argv[0]);
   }
+  if (cli.merge && cli.compact) {
+    std::fprintf(stderr, "--merge and --compact are mutually exclusive\n");
+    std::exit(2);
+  }
   return cli;
+}
+
+void render_reports(const exp::SweepResult& result,
+                    const exp::ManifestOutputs& outputs) {
+  if (outputs.table) {
+    exp::to_table(result).print();
+  }
+  if (!outputs.csv.empty()) {
+    exp::write_file(outputs.csv, exp::to_csv(result));
+    std::printf("\nCSV written to %s\n", outputs.csv.c_str());
+  }
+  if (!outputs.json.empty()) {
+    exp::write_file(outputs.json, exp::to_json(result));
+    std::printf("\nJSON written to %s\n", outputs.json.c_str());
+  }
+}
+
+/// --compact: rewrite the target journal (the shard's with --shard, the
+/// configured one otherwise) as its minimal equivalent.
+int run_compact(const exp::Manifest& manifest, const Cli& cli,
+                const std::string& fingerprint,
+                const std::string& shard_dir) {
+  std::string path;
+  if (cli.shard_count > 0) {
+    path = exp::shard_journal_path(shard_dir, manifest.spec.name,
+                                   cli.shard_index, cli.shard_count);
+  } else {
+    path = manifest.outputs.journal;
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "sweeprun: --compact needs a journal (a [output] journal, "
+                 "--journal, or --shard I/N)\n");
+    return 2;
+  }
+  const exp::CompactStats stats = exp::compact_journal(path, fingerprint);
+  std::printf("compacted %s: %zu entr%s, %zu -> %zu bytes\n", path.c_str(),
+              stats.entries, stats.entries == 1 ? "y" : "ies",
+              stats.bytes_before, stats.bytes_after);
+  return 0;
+}
+
+/// --merge: fuse every shard journal and render the full-grid reports.
+int run_merge(const exp::Manifest& manifest, const Cli& cli,
+              const std::string& fingerprint,
+              const std::string& shard_dir) {
+  std::size_t count = cli.merge_count;
+  if (count == 0) {
+    count = cli.shard_count;
+  }
+  if (count == 0 && manifest.shard.count > 0) {
+    count = static_cast<std::size_t>(manifest.shard.count);
+  }
+  if (count == 0) {
+    std::fprintf(stderr,
+                 "sweeprun: --merge needs a shard count (--merge N, "
+                 "--shard I/N, or a [shard] count in the manifest)\n");
+    return 2;
+  }
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < count; ++i) {
+    paths.push_back(exp::shard_journal_path(shard_dir, manifest.spec.name,
+                                            i, count));
+  }
+  const std::size_t cells = manifest.spec.num_cells();
+  const exp::MergeStats merged =
+      exp::merge_journals(paths, fingerprint, cells);
+  std::printf("merged %zu shard journal(s): %zu cells", count, cells);
+  if (merged.duplicates > 0) {
+    std::printf(", %zu duplicate entr%s dropped", merged.duplicates,
+                merged.duplicates == 1 ? "y" : "ies");
+  }
+  std::printf("\n\n");
+
+  // A fused journal is a valid unsharded journal for the same sweep: write
+  // one when the manifest asks for a journal, so later unsharded runs (or
+  // re-renders) can resume from the merged state.
+  if (!manifest.outputs.journal.empty()) {
+    exp::JournalWriter writer(manifest.outputs.journal, fingerprint,
+                              /*resume=*/false);
+    for (const auto& [cell, aggregate] : merged.cells) {
+      writer.append({cell, aggregate});
+    }
+    std::printf("fused journal written to %s\n\n",
+                manifest.outputs.journal.c_str());
+  }
+
+  render_reports(exp::assemble_result(manifest.spec, merged.cells),
+                 manifest.outputs);
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli = parse_cli(argc, argv);
+  exp::Manifest manifest;
   try {
-    exp::Manifest manifest = exp::load_manifest(cli.manifest_path);
+    manifest = exp::load_manifest(cli.manifest_path);
+  } catch (const std::exception& error) {
+    // Parse errors are already line-numbered; prefix the file so a cluster
+    // log names which manifest was bad.
+    std::fprintf(stderr, "sweeprun: %s: %s\n", cli.manifest_path.c_str(),
+                 error.what());
+    return 1;
+  }
+  try {
     if (cli.reps > 0) {
       manifest.spec.replications = cli.reps;
       if (manifest.spec.adaptive.enabled() &&
@@ -107,31 +272,56 @@ int main(int argc, char** argv) {
     if (!cli.json.empty()) manifest.outputs.json = cli.json;
     if (!cli.journal.empty()) manifest.outputs.journal = cli.journal;
     if (cli.no_table) manifest.outputs.table = false;
+    const std::string shard_dir =
+        cli.shard_dir.empty() ? manifest.shard.dir : cli.shard_dir;
+
+    // The salt extends the journal fingerprint to the trace/planner/
+    // experiment templates: editing them invalidates an old journal
+    // instead of silently resuming the old configuration's results.
+    const std::string salt = exp::manifest_journal_salt(manifest);
+    const std::string fingerprint =
+        exp::spec_fingerprint(manifest.spec, salt);
+
+    if (cli.compact) {
+      return run_compact(manifest, cli, fingerprint, shard_dir);
+    }
+    if (cli.merge) {
+      return run_merge(manifest, cli, fingerprint, shard_dir);
+    }
 
     exp::SweepOptions options;
     options.threads = cli.threads;
     options.journal = manifest.outputs.journal;
-    // The salt extends the journal fingerprint to the trace/planner/
-    // experiment templates: editing them invalidates an old journal
-    // instead of silently resuming the old configuration's results.
-    options.journal_salt = exp::manifest_journal_salt(manifest);
+    options.journal_salt = salt;
+    const bool sharded = cli.shard_count > 0;
+    if (sharded) {
+      options.shard.index = cli.shard_index;
+      options.shard.count = cli.shard_count;
+      // Each shard owns its journal inside the shared directory; the
+      // manifest's [output] journal names the merge product instead.
+      std::error_code ignored;
+      std::filesystem::create_directories(shard_dir, ignored);
+      options.journal = exp::shard_journal_path(
+          shard_dir, manifest.spec.name, cli.shard_index, cli.shard_count);
+    }
     if (cli.fresh && !options.journal.empty()) {
       std::remove(options.journal.c_str());
     }
 
     const std::size_t cells = manifest.spec.num_cells();
+    const exp::ShardRange owned = shard_cell_range(cells, options.shard);
     std::size_t resumed = 0;
     if (!options.journal.empty()) {
-      const auto contents = exp::read_journal(
-          options.journal,
-          exp::spec_fingerprint(manifest.spec, options.journal_salt));
+      const auto contents = exp::read_journal(options.journal, fingerprint);
       if (contents.found && !contents.compatible) {
         std::fprintf(stderr,
                      "note: journal '%s' belongs to a different sweep; "
                      "starting fresh\n",
                      options.journal.c_str());
       }
-      resumed = contents.cells.size();
+      for (const auto& [cell, aggregate] : contents.cells) {
+        resumed += owned.contains(cell) ? 1 : 0;
+      }
     }
 
     std::printf("sweep '%s': %zu cells x %d replication(s)%s\n",
@@ -145,9 +335,14 @@ int main(int argc, char** argv) {
                   manifest.spec.adaptive.batch,
                   manifest.spec.adaptive.max_replications);
     }
+    if (sharded) {
+      std::printf("  shard %zu/%zu: cells [%zu, %zu)\n",
+                  cli.shard_index + 1, cli.shard_count, owned.begin,
+                  owned.end);
+    }
     if (resumed > 0) {
       std::printf("  resuming from journal: %zu/%zu cells already done\n",
-                  resumed, cells);
+                  resumed, owned.size());
     }
 
     const auto start = std::chrono::steady_clock::now();
@@ -158,17 +353,15 @@ int main(int argc, char** argv) {
                                .count();
     std::printf("  finished in %.3f s\n\n", seconds);
 
-    if (manifest.outputs.table) {
-      exp::to_table(result).print();
+    if (sharded) {
+      // Partial grids render no reports; --merge renders the full ones
+      // once every shard journal is in the shared directory.
+      std::printf("shard journal written to %s; run --merge once all %zu "
+                  "shards are done\n",
+                  options.journal.c_str(), cli.shard_count);
+      return 0;
     }
-    if (!manifest.outputs.csv.empty()) {
-      exp::write_file(manifest.outputs.csv, exp::to_csv(result));
-      std::printf("\nCSV written to %s\n", manifest.outputs.csv.c_str());
-    }
-    if (!manifest.outputs.json.empty()) {
-      exp::write_file(manifest.outputs.json, exp::to_json(result));
-      std::printf("\nJSON written to %s\n", manifest.outputs.json.c_str());
-    }
+    render_reports(result, manifest.outputs);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sweeprun: %s\n", error.what());
