@@ -67,10 +67,14 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(v % span);
 }
 
+double Rng::uniform_complement() {
+  // 1 - uniform() is in (0, 1], so logs and negative powers stay finite.
+  return 1.0 - uniform();
+}
+
 double Rng::exponential(double rate) {
   CHRONOS_EXPECTS(rate > 0.0, "exponential rate must be positive");
-  // 1 - uniform() is in (0, 1], so the log is finite.
-  return -std::log(1.0 - uniform()) / rate;
+  return -std::log(uniform_complement()) / rate;
 }
 
 double Rng::normal() {
@@ -89,8 +93,7 @@ double Rng::normal(double mean, double sigma) {
 double Rng::pareto(double t_min, double beta) {
   CHRONOS_EXPECTS(t_min > 0.0, "pareto t_min must be positive");
   CHRONOS_EXPECTS(beta > 0.0, "pareto beta must be positive");
-  const double u = 1.0 - uniform();  // in (0, 1]
-  return t_min * std::pow(u, -1.0 / beta);
+  return t_min * std::pow(uniform_complement(), -1.0 / beta);
 }
 
 bool Rng::bernoulli(double p) {
@@ -105,5 +108,15 @@ Rng Rng::split() {
 }
 
 std::uint64_t Rng::split_seed() { return (*this)(); }
+
+ParetoSampler::ParetoSampler(double t_min, double beta)
+    : t_min_(t_min), beta_(beta), neg_inv_beta_(-1.0 / beta) {
+  CHRONOS_EXPECTS(t_min > 0.0, "pareto t_min must be positive");
+  CHRONOS_EXPECTS(beta > 0.0, "pareto beta must be positive");
+}
+
+ExponentialSampler::ExponentialSampler(double rate) : rate_(rate) {
+  CHRONOS_EXPECTS(rate > 0.0, "exponential rate must be positive");
+}
 
 }  // namespace chronos

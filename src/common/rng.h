@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace chronos {
@@ -62,7 +63,59 @@ class Rng {
   std::uint64_t split_seed();
 
  private:
+  friend class ParetoSampler;
+  friend class ExponentialSampler;
+
+  /// Uniform in (0, 1]; the complement of uniform(), shared by the
+  /// inverse-CDF samplers so their streams match the Rng::* methods bit for
+  /// bit.
+  double uniform_complement();
+
   std::array<std::uint64_t, 4> state_;
+};
+
+/// Pre-validated Pareto(t_min, beta) sampler for hot loops.
+///
+/// `Rng::pareto` re-validates its parameters and re-derives the exponent
+/// -1/beta on every draw; constructing a `ParetoSampler` once outside the
+/// loop pays both costs a single time. Draws consume exactly one uniform and
+/// are bit-identical to `rng.pareto(t_min, beta)` for the same stream
+/// position, so call sites can be ported without disturbing seeded results.
+class ParetoSampler {
+ public:
+  /// Requires t_min > 0 and beta > 0 (checked once, here).
+  ParetoSampler(double t_min, double beta);
+
+  double t_min() const { return t_min_; }
+  double beta() const { return beta_; }
+
+  /// One Pareto(t_min, beta) variate via inverse CDF.
+  double operator()(Rng& rng) const {
+    return t_min_ * std::pow(rng.uniform_complement(), neg_inv_beta_);
+  }
+
+ private:
+  double t_min_;
+  double beta_;
+  double neg_inv_beta_;  ///< -1/beta, derived once at construction
+};
+
+/// Pre-validated exponential sampler (mean 1/rate); the analogue of
+/// `ParetoSampler` for `Rng::exponential`. Bit-identical to
+/// `rng.exponential(rate)` at the same stream position.
+class ExponentialSampler {
+ public:
+  /// Requires rate > 0 (checked once, here).
+  explicit ExponentialSampler(double rate);
+
+  double rate() const { return rate_; }
+
+  double operator()(Rng& rng) const {
+    return -std::log(rng.uniform_complement()) / rate_;
+  }
+
+ private:
+  double rate_;
 };
 
 }  // namespace chronos

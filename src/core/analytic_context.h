@@ -1,0 +1,71 @@
+// Precomputed evaluation context for the analytic PoCD / cost / utility
+// kernels.
+//
+// Algorithm 1 evaluates U(r) at dozens of integers for one fixed
+// (strategy, params, econ) triple. The free functions in pocd.cpp / cost.cpp
+// recompute every pow(t_min/D, beta)-family constant — and re-validate the
+// parameter records — on each call. AnalyticContext hoists all r-independent
+// work to construction time (straggler probability, the per-extra-attempt
+// failure factors, the truncated Pareto means behind E(T), the Gamma
+// threshold), so each evaluation is reduced to the r-dependent remainder:
+// a couple of pow calls and a handful of multiplies.
+//
+// The context is deliberately bit-identical to the free functions: it
+// evaluates the exact same floating-point expressions in the same order,
+// only with the r-independent factors computed once. evaluate(r) therefore
+// equals evaluate_utility(strategy, params, econ, r) bit for bit (tests
+// assert this), and switching the optimizer onto the context cannot perturb
+// planner decisions or sweep goldens.
+#pragma once
+
+#include <cstdint>
+
+#include "core/model.h"
+#include "core/utility.h"
+
+namespace chronos::core {
+
+class AnalyticContext {
+ public:
+  /// Validates params/econ once. For S-Restart / S-Resume additionally
+  /// requires beta > 1 (finite expected machine time), like the
+  /// machine_time_* free functions.
+  AnalyticContext(Strategy strategy, const JobParams& params,
+                  const Economics& econ);
+
+  Strategy strategy() const { return strategy_; }
+  const JobParams& params() const { return params_; }
+  const Economics& econ() const { return econ_; }
+
+  /// Concavity threshold Gamma (Theorem 8), precomputed.
+  double gamma() const { return gamma_; }
+
+  /// PoCD R(r); bit-identical to pocd(strategy, params, r).
+  double pocd(double r) const;
+
+  /// Expected machine time E(T); bit-identical to
+  /// machine_time(strategy, params, r). Clone additionally requires
+  /// beta * (r + 1) > 1 per call, as the free function does.
+  double machine_time(double r) const;
+
+  /// Full utility point; bit-identical to
+  /// evaluate_utility(strategy, params, econ, r).
+  UtilityPoint evaluate(double r) const;
+
+  /// Number of evaluate() calls made through this context. Lets tests prove
+  /// the optimizer's memoization never evaluates the same r twice.
+  std::int64_t evaluations() const { return evaluations_; }
+
+ private:
+  Strategy strategy_;
+  JobParams params_;
+  Economics econ_;
+  double gamma_ = 0.0;
+  double p_straggle_ = 0.0;  ///< pow(t_min / D, beta): P(T > D)
+  double p_extra_ = 0.0;     ///< per-extra-attempt failure factor (S-R / S-Res)
+  double below_ = 0.0;       ///< E[T; T <= D] contribution (S-R / S-Res)
+  double above_r0_ = 0.0;    ///< E[T | T > D] (S-Restart with r == 0)
+  mutable std::int64_t evaluations_ = 0;
+};
+
+}  // namespace chronos::core

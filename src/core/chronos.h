@@ -13,6 +13,7 @@
 //   // best.r_opt extra attempts maximize lg(PoCD - R_min) - theta*C*E(T).
 #pragma once
 
+#include "core/analytic_context.h"  // IWYU pragma: export
 #include "core/comparison.h"   // IWYU pragma: export
 #include "core/cost.h"         // IWYU pragma: export
 #include "core/frontier.h"     // IWYU pragma: export

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/error.h"
 #include "stats/summary.h"
@@ -15,91 +16,210 @@ struct TaskOutcome {
   double machine_time = 0.0;
 };
 
-TaskOutcome simulate_clone(const JobParams& p, long long r, Rng& rng) {
-  // r+1 attempts run from t = 0; losers are killed at tau_kill.
-  double winner = rng.pareto(p.t_min, p.beta);
-  for (long long k = 0; k < r; ++k) {
-    winner = std::min(winner, rng.pareto(p.t_min, p.beta));
-  }
-  TaskOutcome out;
-  out.met_deadline = winner <= p.deadline;
-  out.machine_time = static_cast<double>(r) * p.tau_kill + winner;
-  return out;
-}
+// ---------------------------------------------------------------------------
+// Fast-path kernels.
+//
+// Each kernel is constructed once per monte_carlo() call (hoisting the
+// strategy dispatch, parameter validation and all derived constants out of
+// the per-task loop) and samples one task outcome per invocation. Winner
+// durations come straight from their order-statistic law: the min of k
+// i.i.d. Pareto(t_min, beta) variates is Pareto(t_min, k*beta) (Lemma 1),
+// which collapses the O(r) winner loops of the literal semantics to a
+// single draw.
 
-TaskOutcome simulate_s_restart(const JobParams& p, long long r, Rng& rng) {
-  const double original = rng.pareto(p.t_min, p.beta);
-  TaskOutcome out;
-  if (original <= p.deadline || r == 0) {
-    out.met_deadline = original <= p.deadline;
-    out.machine_time = original;
-    return out;
-  }
-  // Straggler: r fresh attempts start at tau_est; original keeps running.
-  // Remaining time of the winner, measured from tau_est:
-  double winner = original - p.tau_est;
-  for (long long k = 0; k < r; ++k) {
-    winner = std::min(winner, rng.pareto(p.t_min, p.beta));
-  }
-  out.met_deadline = winner <= p.deadline - p.tau_est;
-  // Machine time: original up to tau_est, r losers charged until tau_kill,
-  // winner runs from tau_est to completion (Theorem 4 decomposition).
-  out.machine_time = p.tau_est +
-                     static_cast<double>(r) * (p.tau_kill - p.tau_est) +
-                     winner;
-  return out;
-}
+/// Clone: r+1 attempts from t = 0; losers are killed at tau_kill.
+class CloneKernel {
+ public:
+  CloneKernel(const JobParams& p, long long r)
+      : winner_(p.t_min, p.beta * static_cast<double>(r + 1)),
+        deadline_(p.deadline),
+        kill_charge_(static_cast<double>(r) * p.tau_kill) {}
 
-TaskOutcome simulate_s_resume(const JobParams& p, long long r, Rng& rng) {
-  const double original = rng.pareto(p.t_min, p.beta);
-  TaskOutcome out;
-  if (original <= p.deadline) {
-    out.met_deadline = true;
-    out.machine_time = original;
-    return out;
+  TaskOutcome operator()(Rng& rng) const {
+    const double winner = winner_(rng);
+    return {winner <= deadline_, kill_charge_ + winner};
   }
-  // Straggler: the original is killed at tau_est; r+1 fresh attempts resume
-  // from progress phi_est, i.e. each needs (1 - phi_est) of a full duration.
-  const double remaining_fraction = 1.0 - p.phi_est;
-  double winner = remaining_fraction * rng.pareto(p.t_min, p.beta);
-  for (long long k = 0; k < r; ++k) {
-    winner = std::min(winner, remaining_fraction * rng.pareto(p.t_min, p.beta));
+
+ private:
+  ParetoSampler winner_;  ///< min of r+1 draws ~ Pareto(t_min, (r+1) beta)
+  double deadline_;
+  double kill_charge_;
+};
+
+/// S-Restart: r fresh attempts start at tau_est; the original keeps running.
+class SRestartKernel {
+ public:
+  SRestartKernel(const JobParams& p, long long r)
+      : original_(p.t_min, p.beta),
+        deadline_(p.deadline),
+        tau_est_(p.tau_est),
+        d_bar_(p.deadline - p.tau_est),
+        kill_charge_(static_cast<double>(r) * (p.tau_kill - p.tau_est)) {
+    if (r > 0) {
+      // min of the r restarted attempts ~ Pareto(t_min, r beta).
+      fresh_.emplace(p.t_min, p.beta * static_cast<double>(r));
+    }
   }
-  out.met_deadline = winner <= p.deadline - p.tau_est;
-  out.machine_time = p.tau_est +
-                     static_cast<double>(r) * (p.tau_kill - p.tau_est) +
-                     winner;
-  return out;
-}
 
-TaskOutcome simulate_task(Strategy strategy, const JobParams& p, long long r,
-                          Rng& rng) {
-  switch (strategy) {
-    case Strategy::kClone:
-      return simulate_clone(p, r, rng);
-    case Strategy::kSpeculativeRestart:
-      return simulate_s_restart(p, r, rng);
-    case Strategy::kSpeculativeResume:
-      return simulate_s_resume(p, r, rng);
+  TaskOutcome operator()(Rng& rng) const {
+    const double original = original_(rng);
+    if (original <= deadline_ || !fresh_) {
+      return {original <= deadline_, original};
+    }
+    // Remaining time of the winner, measured from tau_est.
+    const double winner = std::min(original - tau_est_, (*fresh_)(rng));
+    // Machine time: original up to tau_est, r losers charged until tau_kill,
+    // winner runs from tau_est to completion (Theorem 4 decomposition).
+    return {winner <= d_bar_, tau_est_ + kill_charge_ + winner};
   }
-  CHRONOS_ENSURES(false, "unknown strategy");
-}
 
-}  // namespace
+ private:
+  ParetoSampler original_;
+  std::optional<ParetoSampler> fresh_;
+  double deadline_;
+  double tau_est_;
+  double d_bar_;
+  double kill_charge_;
+};
 
-MonteCarloResult monte_carlo(Strategy strategy, const JobParams& params,
-                             long long r, std::uint64_t jobs, Rng& rng) {
-  params.validate();
-  CHRONOS_EXPECTS(r >= 0, "r must be >= 0");
-  CHRONOS_EXPECTS(jobs > 0, "at least one simulated job is required");
+/// No speculation: a single attempt per task, no kills.
+class NoSpeculationKernel {
+ public:
+  explicit NoSpeculationKernel(const JobParams& p)
+      : attempt_(p.t_min, p.beta), deadline_(p.deadline) {}
 
+  TaskOutcome operator()(Rng& rng) const {
+    const double duration = attempt_(rng);
+    return {duration <= deadline_, duration};
+  }
+
+ private:
+  ParetoSampler attempt_;
+  double deadline_;
+};
+
+/// S-Resume: the straggler is killed at tau_est; r+1 fresh attempts resume
+/// from progress phi_est, i.e. each needs (1 - phi_est) of a full duration.
+class SResumeKernel {
+ public:
+  SResumeKernel(const JobParams& p, long long r)
+      : original_(p.t_min, p.beta),
+        resumed_(p.t_min, p.beta * static_cast<double>(r + 1)),
+        remaining_fraction_(1.0 - p.phi_est),
+        deadline_(p.deadline),
+        tau_est_(p.tau_est),
+        d_bar_(p.deadline - p.tau_est),
+        kill_charge_(static_cast<double>(r) * (p.tau_kill - p.tau_est)) {}
+
+  TaskOutcome operator()(Rng& rng) const {
+    const double original = original_(rng);
+    if (original <= deadline_) {
+      return {true, original};
+    }
+    // min over r+1 copies of (1-phi) T is (1-phi) Pareto(t_min, (r+1) beta).
+    const double winner = remaining_fraction_ * resumed_(rng);
+    return {winner <= d_bar_, tau_est_ + kill_charge_ + winner};
+  }
+
+ private:
+  ParetoSampler original_;
+  ParetoSampler resumed_;  ///< min of r+1 full-duration draws
+  double remaining_fraction_;
+  double deadline_;
+  double tau_est_;
+  double d_bar_;
+  double kill_charge_;
+};
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the literal r+1-draw semantics, kept as the
+// cross-validation oracle for the order-statistic fast path.
+
+class CloneReferenceKernel {
+ public:
+  CloneReferenceKernel(const JobParams& p, long long r)
+      : attempt_(p.t_min, p.beta), p_(p), r_(r) {}
+
+  TaskOutcome operator()(Rng& rng) const {
+    double winner = attempt_(rng);
+    for (long long k = 0; k < r_; ++k) {
+      winner = std::min(winner, attempt_(rng));
+    }
+    return {winner <= p_.deadline,
+            static_cast<double>(r_) * p_.tau_kill + winner};
+  }
+
+ private:
+  ParetoSampler attempt_;
+  const JobParams& p_;
+  long long r_;
+};
+
+class SRestartReferenceKernel {
+ public:
+  SRestartReferenceKernel(const JobParams& p, long long r)
+      : attempt_(p.t_min, p.beta), p_(p), r_(r) {}
+
+  TaskOutcome operator()(Rng& rng) const {
+    const double original = attempt_(rng);
+    if (original <= p_.deadline || r_ == 0) {
+      return {original <= p_.deadline, original};
+    }
+    double winner = original - p_.tau_est;
+    for (long long k = 0; k < r_; ++k) {
+      winner = std::min(winner, attempt_(rng));
+    }
+    return {winner <= p_.deadline - p_.tau_est,
+            p_.tau_est + static_cast<double>(r_) * (p_.tau_kill - p_.tau_est) +
+                winner};
+  }
+
+ private:
+  ParetoSampler attempt_;
+  const JobParams& p_;
+  long long r_;
+};
+
+class SResumeReferenceKernel {
+ public:
+  SResumeReferenceKernel(const JobParams& p, long long r)
+      : attempt_(p.t_min, p.beta), p_(p), r_(r) {}
+
+  TaskOutcome operator()(Rng& rng) const {
+    const double original = attempt_(rng);
+    if (original <= p_.deadline) {
+      return {true, original};
+    }
+    const double remaining_fraction = 1.0 - p_.phi_est;
+    double winner = remaining_fraction * attempt_(rng);
+    for (long long k = 0; k < r_; ++k) {
+      winner = std::min(winner, remaining_fraction * attempt_(rng));
+    }
+    return {winner <= p_.deadline - p_.tau_est,
+            p_.tau_est + static_cast<double>(r_) * (p_.tau_kill - p_.tau_est) +
+                winner};
+  }
+
+ private:
+  ParetoSampler attempt_;
+  const JobParams& p_;
+  long long r_;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Shared job loop: one kernel invocation per task, Welford aggregation per
+/// job. Templated so each strategy's kernel is inlined with its constants.
+template <typename Kernel>
+MonteCarloResult run_jobs(const Kernel& kernel, int num_tasks,
+                          std::uint64_t jobs, Rng& rng) {
   std::uint64_t met = 0;
   stats::RunningStats times;
   for (std::uint64_t j = 0; j < jobs; ++j) {
     bool job_met = true;
     double job_time = 0.0;
-    for (int t = 0; t < params.num_tasks; ++t) {
-      const auto outcome = simulate_task(strategy, params, r, rng);
+    for (int t = 0; t < num_tasks; ++t) {
+      const TaskOutcome outcome = kernel(rng);
       job_met = job_met && outcome.met_deadline;
       job_time += outcome.machine_time;
     }
@@ -117,31 +237,51 @@ MonteCarloResult monte_carlo(Strategy strategy, const JobParams& params,
   return result;
 }
 
+void check_inputs(const JobParams& params, long long r, std::uint64_t jobs) {
+  params.validate();
+  CHRONOS_EXPECTS(r >= 0, "r must be >= 0");
+  CHRONOS_EXPECTS(jobs > 0, "at least one simulated job is required");
+}
+
+}  // namespace
+
+MonteCarloResult monte_carlo(Strategy strategy, const JobParams& params,
+                             long long r, std::uint64_t jobs, Rng& rng) {
+  check_inputs(params, r, jobs);
+  switch (strategy) {
+    case Strategy::kClone:
+      return run_jobs(CloneKernel(params, r), params.num_tasks, jobs, rng);
+    case Strategy::kSpeculativeRestart:
+      return run_jobs(SRestartKernel(params, r), params.num_tasks, jobs, rng);
+    case Strategy::kSpeculativeResume:
+      return run_jobs(SResumeKernel(params, r), params.num_tasks, jobs, rng);
+  }
+  CHRONOS_ENSURES(false, "unknown strategy");
+}
+
+MonteCarloResult monte_carlo_reference(Strategy strategy,
+                                       const JobParams& params, long long r,
+                                       std::uint64_t jobs, Rng& rng) {
+  check_inputs(params, r, jobs);
+  switch (strategy) {
+    case Strategy::kClone:
+      return run_jobs(CloneReferenceKernel(params, r), params.num_tasks, jobs,
+                      rng);
+    case Strategy::kSpeculativeRestart:
+      return run_jobs(SRestartReferenceKernel(params, r), params.num_tasks,
+                      jobs, rng);
+    case Strategy::kSpeculativeResume:
+      return run_jobs(SResumeReferenceKernel(params, r), params.num_tasks,
+                      jobs, rng);
+  }
+  CHRONOS_ENSURES(false, "unknown strategy");
+}
+
 MonteCarloResult monte_carlo_no_speculation(const JobParams& params,
                                             std::uint64_t jobs, Rng& rng) {
   params.validate();
   CHRONOS_EXPECTS(jobs > 0, "at least one simulated job is required");
-  std::uint64_t met = 0;
-  stats::RunningStats times;
-  for (std::uint64_t j = 0; j < jobs; ++j) {
-    bool job_met = true;
-    double job_time = 0.0;
-    for (int t = 0; t < params.num_tasks; ++t) {
-      const double duration = rng.pareto(params.t_min, params.beta);
-      job_met = job_met && duration <= params.deadline;
-      job_time += duration;
-    }
-    met += job_met ? 1 : 0;
-    times.add(job_time);
-  }
-  MonteCarloResult result;
-  result.jobs = jobs;
-  result.pocd = static_cast<double>(met) / static_cast<double>(jobs);
-  result.pocd_ci = stats::proportion_ci_halfwidth(met, jobs);
-  result.machine_time = times.mean();
-  result.machine_time_sem =
-      times.stddev() / std::sqrt(static_cast<double>(jobs));
-  return result;
+  return run_jobs(NoSpeculationKernel(params), params.num_tasks, jobs, rng);
 }
 
 }  // namespace chronos::core

@@ -26,8 +26,25 @@ struct MonteCarloResult {
 ///  - killed attempts are charged machine time up to tau_kill;
 ///  - S-Resume attempts process the remaining (1 - phi_est) fraction.
 /// Requires r >= 0 and valid params.
+///
+/// Fast path: instead of drawing all r+1 attempt durations and taking their
+/// minimum, the winner is sampled directly from its order-statistic law —
+/// the min of k i.i.d. Pareto(t_min, beta) variates is exactly
+/// Pareto(t_min, k*beta) (Lemma 1) — so the per-task cost is O(1) in r.
+/// Every per-task outcome is therefore drawn from the exact distribution of
+/// the literal semantics, but the stream consumes fewer variates, so
+/// results differ sample-wise (never distribution-wise) from
+/// `monte_carlo_reference`.
 MonteCarloResult monte_carlo(Strategy strategy, const JobParams& params,
                              long long r, std::uint64_t jobs, Rng& rng);
+
+/// Literal-semantics reference: draws every one of the r+1 attempt durations
+/// and takes their minimum, exactly as the model text reads. O(r) per task.
+/// Kept as the cross-validation oracle for the order-statistic fast path
+/// (tests assert both agree with each other and with the closed forms).
+MonteCarloResult monte_carlo_reference(Strategy strategy,
+                                       const JobParams& params, long long r,
+                                       std::uint64_t jobs, Rng& rng);
 
 /// Monte-Carlo estimate for the no-speculation baseline (single attempt per
 /// task, no kills).

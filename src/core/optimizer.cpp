@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "core/thresholds.h"
@@ -12,39 +13,48 @@ namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
+/// Memoizing objective over a precomputed AnalyticContext. The guarded
+/// ternary search revisits probe points when the bracket shrinks; the memo
+/// guarantees each distinct r is evaluated exactly once (evaluations()),
+/// while lookups() counts every query including memo hits.
 class Objective {
  public:
-  Objective(Strategy strategy, const JobParams& params, const Economics& econ)
-      : strategy_(strategy), params_(params), econ_(econ) {}
+  explicit Objective(const AnalyticContext& context) : context_(context) {}
 
   double operator()(long long r) {
-    ++evaluations_;
-    const auto point =
-        evaluate_utility(strategy_, params_, econ_, static_cast<double>(r));
-    if (evaluations_ == 1 || point.utility > best_.utility) {
+    ++lookups_;
+    if (const auto it = memo_.find(r); it != memo_.end()) {
+      return it->second;
+    }
+    const auto point = context_.evaluate(static_cast<double>(r));
+    memo_.emplace(r, point.utility);
+    if (memo_.size() == 1 || point.utility > best_.utility) {
       best_ = point;
     }
     return point.utility;
   }
 
   const UtilityPoint& best() const { return best_; }
-  std::int64_t evaluations() const { return evaluations_; }
+  std::int64_t evaluations() const {
+    return static_cast<std::int64_t>(memo_.size());
+  }
+  std::int64_t lookups() const { return lookups_; }
 
  private:
-  Strategy strategy_;
-  const JobParams& params_;
-  const Economics& econ_;
+  const AnalyticContext& context_;
+  std::unordered_map<long long, double> memo_;
   UtilityPoint best_{};
-  std::int64_t evaluations_ = 0;
+  std::int64_t lookups_ = 0;
 };
 
-OptimizationResult finish(const Objective& objective, Strategy strategy,
-                          const JobParams& params) {
+OptimizationResult finish(const Objective& objective,
+                          const AnalyticContext& context) {
   OptimizationResult result;
   result.best = objective.best();
   result.r_opt = static_cast<long long>(std::llround(result.best.r));
-  result.gamma = gamma_threshold(strategy, params);
+  result.gamma = context.gamma();
   result.evaluations = objective.evaluations();
+  result.lookups = objective.lookups();
   result.feasible = std::isfinite(result.best.utility);
   if (!result.feasible) {
     result.r_opt = 0;
@@ -54,15 +64,12 @@ OptimizationResult finish(const Objective& objective, Strategy strategy,
 
 }  // namespace
 
-OptimizationResult optimize(Strategy strategy, const JobParams& params,
-                            const Economics& econ,
+OptimizationResult optimize(const AnalyticContext& context,
                             const OptimizerOptions& options) {
-  params.validate();
-  econ.validate();
   CHRONOS_EXPECTS(options.max_r >= 0, "max_r must be >= 0");
 
-  Objective objective(strategy, params, econ);
-  const long long start = concave_start(strategy, params);
+  Objective objective(context);
+  const long long start = concave_start(context.gamma());
 
   // Phase 2 of Algorithm 1 (run first here; order does not matter): the
   // non-concave prefix 0 .. ceil(Gamma)-1 is scanned exhaustively.
@@ -95,21 +102,28 @@ OptimizationResult optimize(Strategy strategy, const JobParams& params,
     objective(r);
   }
 
-  return finish(objective, strategy, params);
+  return finish(objective, context);
+}
+
+OptimizationResult optimize(Strategy strategy, const JobParams& params,
+                            const Economics& econ,
+                            const OptimizerOptions& options) {
+  CHRONOS_EXPECTS(options.max_r >= 0, "max_r must be >= 0");
+  const AnalyticContext context(strategy, params, econ);
+  return optimize(context, options);
 }
 
 OptimizationResult brute_force_optimize(Strategy strategy,
                                         const JobParams& params,
                                         const Economics& econ,
                                         const OptimizerOptions& options) {
-  params.validate();
-  econ.validate();
   CHRONOS_EXPECTS(options.max_r >= 0, "max_r must be >= 0");
-  Objective objective(strategy, params, econ);
+  const AnalyticContext context(strategy, params, econ);
+  Objective objective(context);
   for (long long r = 0; r <= options.max_r; ++r) {
     objective(r);
   }
-  return finish(objective, strategy, params);
+  return finish(objective, context);
 }
 
 BestStrategy optimize_all(const JobParams& params, const Economics& econ,

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "core/analytic_context.h"
 #include "core/model.h"
 #include "core/utility.h"
 
@@ -23,7 +24,9 @@ struct OptimizationResult {
   long long r_opt = 0;       ///< optimal number of extra attempts
   UtilityPoint best;         ///< objective components at r_opt
   double gamma = 0.0;        ///< concavity threshold used (Theorem 8)
-  std::int64_t evaluations = 0;  ///< number of U(r) evaluations performed
+  std::int64_t evaluations = 0;  ///< number of UNIQUE U(r) evaluations
+                                 ///< actually computed (memoized)
+  std::int64_t lookups = 0;  ///< total objective queries, incl. memo hits
   bool feasible = false;     ///< true when U(r_opt) is finite
                              ///< (R(r_opt) > R_min is attainable)
 };
@@ -31,8 +34,17 @@ struct OptimizationResult {
 /// Runs Algorithm 1 for `strategy`. Requires valid params/econ. When no
 /// integer r in [0, max_r] achieves R(r) > R_min, the result has
 /// feasible == false and r_opt == 0 with utility == -infinity.
+///
+/// Internally builds an AnalyticContext so every r-independent constant is
+/// computed once, and memoizes U(r) so the guarded ternary search never
+/// evaluates the same integer twice.
 OptimizationResult optimize(Strategy strategy, const JobParams& params,
                             const Economics& econ,
+                            const OptimizerOptions& options = {});
+
+/// As above, but evaluates through a caller-supplied context (lets callers
+/// amortize the context across searches and instrument evaluation counts).
+OptimizationResult optimize(const AnalyticContext& context,
                             const OptimizerOptions& options = {});
 
 /// Reference implementation: linear scan of U(r) for r in [0, max_r].

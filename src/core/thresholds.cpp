@@ -58,7 +58,10 @@ double gamma_threshold(Strategy strategy, const JobParams& params) {
 }
 
 long long concave_start(Strategy strategy, const JobParams& params) {
-  const double gamma = gamma_threshold(strategy, params);
+  return concave_start(gamma_threshold(strategy, params));
+}
+
+long long concave_start(double gamma) {
   const auto ceil_gamma = static_cast<long long>(std::ceil(gamma));
   return std::max<long long>(0, ceil_gamma);
 }

@@ -25,4 +25,7 @@ double gamma_threshold(Strategy strategy, const JobParams& params);
 /// max(0, ceil(gamma_threshold)).
 long long concave_start(Strategy strategy, const JobParams& params);
 
+/// As above for an already-computed Gamma (e.g. AnalyticContext::gamma()).
+long long concave_start(double gamma);
+
 }  // namespace chronos::core

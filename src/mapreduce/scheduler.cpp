@@ -16,7 +16,11 @@ Scheduler::Scheduler(sim::Simulator& simulator, sim::Cluster& cluster,
       policy_(policy),
       config_(config),
       rng_(rng),
-      api_(std::make_unique<SchedulerApi>(*this)) {}
+      api_(std::make_unique<SchedulerApi>(*this)) {
+  if (config_.failures.rate > 0.0) {
+    crash_sampler_.emplace(config_.failures.rate);
+  }
+}
 
 const JobRecord& Scheduler::job(int job) const {
   CHRONOS_EXPECTS(job >= 0 && job < num_jobs(), "job index out of range");
@@ -37,8 +41,19 @@ int Scheduler::submit(const JobSpec& spec) {
   // Map tasks occupy [0, num_tasks); reduce tasks [num_tasks, total).
   record.tasks.resize(static_cast<std::size_t>(spec.total_tasks()));
   jobs_.push_back(std::move(record));
+  job_samplers_.push_back(
+      StageSamplers{ParetoSampler(spec.t_min, spec.beta),
+                    ParetoSampler(spec.effective_reduce_t_min(),
+                                  spec.effective_reduce_beta())});
 
   const int copies = std::max(1, policy_.initial_attempts(spec));
+  // Capacity hint: every task gets `copies` initial attempts (one
+  // finish/crash event each) plus up to its stage's r speculative ones.
+  // Crash retries can still exceed this; the queue grows geometrically.
+  const long long stage_r = std::max(spec.r, spec.effective_reduce_r());
+  simulator_.reserve_events(
+      static_cast<std::size_t>(spec.total_tasks()) *
+      static_cast<std::size_t>(copies + stage_r));
   for (int task = 0; task < spec.num_tasks; ++task) {
     for (int copy = 0; copy < copies; ++copy) {
       launch_attempt(job_index, task, 0.0);
@@ -116,11 +131,10 @@ void Scheduler::on_container_granted(int job, int attempt_id, int node) {
   // law, scaled by the node's contention slowdown (§VII-A observed the
   // combined distribution is Pareto with beta < 2).
   const bool reduce = record.is_reduce_task(attempt.task_index);
-  const double stage_t_min =
-      reduce ? spec.effective_reduce_t_min() : spec.t_min;
-  const double stage_beta = reduce ? spec.effective_reduce_beta() : spec.beta;
+  const auto& samplers = job_samplers_[static_cast<std::size_t>(job)];
+  const ParetoSampler& stage = reduce ? samplers.reduce : samplers.map;
   const double slowdown = cluster_.sample_slowdown(node, rng_);
-  const double total = rng_.pareto(stage_t_min, stage_beta) * slowdown;
+  const double total = stage(rng_) * slowdown;
   double jvm = 0.0;
   if (spec.jvm_mean > 0.0) {
     jvm = std::max(0.0, rng_.uniform(spec.jvm_mean - spec.jvm_jitter,
@@ -135,8 +149,8 @@ void Scheduler::on_container_granted(int job, int attempt_id, int node) {
 
   // Failure injection: the attempt crashes before finishing when an
   // exponential crash clock fires first.
-  if (config_.failures.rate > 0.0) {
-    const double crash_after = rng_.exponential(config_.failures.rate);
+  if (crash_sampler_) {
+    const double crash_after = (*crash_sampler_)(rng_);
     if (attempt.launch_time + crash_after < attempt.planned_finish()) {
       attempt.finish_event = simulator_.at(
           attempt.launch_time + crash_after,

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -135,12 +136,22 @@ class Scheduler {
   void maybe_start_reduce_stage(int job);
   void maybe_complete_job(int job);
 
+  /// Pre-validated per-stage duration samplers, built once per job at
+  /// submission so the per-attempt hot path skips parameter validation and
+  /// exponent derivation (draws stay bit-identical to Rng::pareto).
+  struct StageSamplers {
+    ParetoSampler map;
+    ParetoSampler reduce;
+  };
+
   sim::Simulator& simulator_;
   sim::Cluster& cluster_;
   SpeculationPolicy& policy_;
   SchedulerConfig config_;
   Rng rng_;
   std::vector<JobRecord> jobs_;
+  std::vector<StageSamplers> job_samplers_;  ///< parallel to jobs_
+  std::optional<ExponentialSampler> crash_sampler_;  ///< when failures on
   sim::RunMetrics metrics_;
   std::unique_ptr<SchedulerApi> api_;
 };

@@ -1,66 +1,107 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
 
 namespace chronos::sim {
 
+std::uint32_t EventQueue::acquire_slot(std::function<void()> fn) {
+  std::uint32_t slot;
+  if (free_head_ != 0) {
+    slot = free_head_ - 1;
+    free_head_ = slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  return slot;
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  auto& s = slots_[slot];
+  s.fn = nullptr;
+  ++s.generation;  // invalidates the heap entry and any outstanding EventId
+  s.next_free = free_head_;
+  free_head_ = slot + 1;
+}
+
 EventId EventQueue::schedule(Time at, std::function<void()> fn) {
   CHRONOS_EXPECTS(at >= 0.0, "cannot schedule an event before time 0");
   CHRONOS_EXPECTS(static_cast<bool>(fn), "event callback must be callable");
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint32_t slot = acquire_slot(std::move(fn));
+  const std::uint64_t generation = slots_[slot].generation;
+  heap_.push_back(Entry{at, next_seq_++, generation, slot});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++live_;
-  return EventId{id};
+  return EventId{static_cast<std::uint64_t>(slot) + 1, generation};
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) {
     return false;
   }
-  const auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) {
-    return false;  // already fired or cancelled
+  const std::uint64_t slot = id.value - 1;
+  if (slot >= slots_.size() || slots_[slot].generation != id.generation) {
+    return false;  // already fired, already cancelled, or a forged id
   }
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  // The heap entry goes stale and is dropped lazily.
+  release_slot(static_cast<std::uint32_t>(slot));
   CHRONOS_ENSURES(live_ > 0, "live event count underflow");
   --live_;
   return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  auto* self = const_cast<EventQueue*>(this);
-  while (!self->heap_.empty() &&
-         self->cancelled_.contains(self->heap_.top().id)) {
-    self->cancelled_.erase(self->heap_.top().id);
-    self->heap_.pop();
+void EventQueue::drop_stale() const {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (slots_[top.slot].generation == top.generation) {
+      return;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
   }
 }
 
 bool EventQueue::empty() const {
-  drop_cancelled();
+  drop_stale();
   return heap_.empty();
 }
 
 Time EventQueue::next_time() const {
-  drop_cancelled();
+  drop_stale();
   CHRONOS_EXPECTS(!heap_.empty(), "next_time on an empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
+  drop_stale();
   CHRONOS_EXPECTS(!heap_.empty(), "pop on an empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  const auto it = callbacks_.find(top.id);
-  CHRONOS_ENSURES(it != callbacks_.end(), "live event lost its callback");
-  Fired fired{top.time, std::move(it->second)};
-  callbacks_.erase(it);
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+  auto& slot = slots_[top.slot];
+  CHRONOS_ENSURES(static_cast<bool>(slot.fn), "live event lost its callback");
+  Fired fired{top.time, std::move(slot.fn)};
+  release_slot(top.slot);
   CHRONOS_ENSURES(live_ > 0, "live event count underflow");
   --live_;
   return fired;
+}
+
+void EventQueue::reserve(std::size_t n) {
+  // Grow geometrically even when hinted: reserving exactly size() + n on
+  // every burst would pin capacity to the request and force a full
+  // reallocate-and-copy per burst (quadratic over repeated submissions).
+  const auto grow = [](auto& vec, std::size_t want) {
+    if (want > vec.capacity()) {
+      vec.reserve(std::max(want, 2 * vec.capacity()));
+    }
+  };
+  grow(heap_, heap_.size() + n);
+  grow(slots_, slots_.size() + n);
 }
 
 }  // namespace chronos::sim

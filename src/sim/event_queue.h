@@ -3,14 +3,19 @@
 // Events fire in (time, insertion-sequence) order so that simultaneous
 // events execute deterministically in scheduling order — a requirement for
 // reproducible trace-driven runs.
+//
+// Storage is a slot arena: callbacks live in a generation-tagged vector with
+// an intrusive free-list, and heap entries carry their slot index plus the
+// generation observed at scheduling time. Cancel/fire bump the slot's
+// generation, so stale heap entries (and stale EventIds) are recognized by a
+// simple tag mismatch — no per-event hashing, and after warm-up no
+// allocation per schedule/cancel/pop (slots and heap storage are recycled;
+// small callbacks stay in std::function's inline buffer).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace chronos::sim {
@@ -19,8 +24,12 @@ namespace chronos::sim {
 using Time = double;
 
 /// Opaque handle identifying a scheduled event; usable for cancellation.
+/// Carries (slot, generation) so a handle outliving its event can never
+/// cancel an unrelated event that reused the slot; the 64-bit generation
+/// cannot wrap within any feasible run, so the guarantee is unconditional.
 struct EventId {
-  std::uint64_t value = 0;
+  std::uint64_t value = 0;       ///< slot index + 1; 0 = invalid
+  std::uint64_t generation = 0;  ///< slot generation at scheduling time
   bool valid() const { return value != 0; }
 };
 
@@ -49,12 +58,18 @@ class EventQueue {
   /// Number of pending (non-cancelled) events.
   std::size_t size() const { return live_; }
 
+  /// Capacity hint: pre-sizes the heap and the slot arena for `n` pending
+  /// events so bulk scheduling (e.g. a job submission that launches every
+  /// task's attempt) does not reallocate mid-burst.
+  void reserve(std::size_t n);
+
  private:
   struct Entry {
     Time time;
     std::uint64_t seq;
-    std::uint64_t id;
-    // Ordered as a min-heap on (time, seq) via greater-than comparison.
+    std::uint64_t generation;
+    std::uint32_t slot;
+    // Min-heap on (time, seq) via greater-than comparison.
     bool operator>(const Entry& other) const {
       if (time != other.time) {
         return time > other.time;
@@ -63,14 +78,23 @@ class EventQueue {
     }
   };
 
-  void drop_cancelled() const;
+  struct Slot {
+    std::function<void()> fn;
+    std::uint64_t generation = 0;  ///< bumped whenever the slot is released
+    std::uint32_t next_free = 0;   ///< free-list link (index + 1; 0 = end)
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
-      heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  // Callback storage separated from heap entries so cancel() is O(1).
-  std::unordered_map<std::uint64_t, std::function<void()>> callbacks_;
-  std::uint64_t next_id_ = 1;
+  /// Pops heap entries whose slot generation no longer matches (cancelled,
+  /// or fired through a duplicate entry — the latter cannot happen here but
+  /// the check is what makes lazy deletion safe).
+  void drop_stale() const;
+
+  std::uint32_t acquire_slot(std::function<void()> fn);
+  void release_slot(std::uint32_t slot);
+
+  mutable std::vector<Entry> heap_;  ///< binary heap via std::push/pop_heap
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = 0;  ///< head of the free list (index + 1)
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };

@@ -33,6 +33,11 @@ class Simulator {
   /// Number of events executed so far.
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Capacity hint forwarded to the event queue; callers that know how many
+  /// events a burst will schedule (e.g. a job submission) avoid mid-burst
+  /// reallocation.
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
+
   /// Pending events.
   std::size_t pending() const { return queue_.size(); }
 

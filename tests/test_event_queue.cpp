@@ -110,6 +110,73 @@ TEST(EventQueue, PopOnEmptyThrows) {
   EXPECT_THROW(q.next_time(), PreconditionError);
 }
 
+// --- slot-arena semantics ---------------------------------------------------
+
+TEST(EventQueue, StaleIdCannotCancelSlotReuse) {
+  // After an event fires, its arena slot is recycled. The old handle's
+  // generation tag no longer matches, so it must not cancel the newcomer.
+  EventQueue q;
+  const auto old_id = q.schedule(1.0, [] {});
+  q.pop().fn();
+  bool fired = false;
+  q.schedule(2.0, [&] { fired = true; });  // likely reuses the slot
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().fn();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, StaleIdAfterCancelCannotCancelSlotReuse) {
+  EventQueue q;
+  const auto old_id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(old_id));
+  q.schedule(2.0, [] {});
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ReserveDoesNotDisturbSemantics) {
+  EventQueue q;
+  q.reserve(64);
+  std::vector<int> order;
+  q.schedule(2.0, [&] { order.push_back(2); });
+  const auto id = q.schedule(1.5, [&] { order.push_back(-1); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.cancel(id);
+  while (!q.empty()) {
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, ChurnReusesSlotsWithCorrectOrdering) {
+  // Heavy schedule/cancel/fire churn across recycled slots: (time, seq)
+  // determinism and cancellation must survive arbitrary slot reuse.
+  EventQueue q;
+  std::vector<int> fired;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 20; ++i) {
+      const int tag = round * 100 + i;
+      ids.push_back(q.schedule(static_cast<double>(i % 7),
+                               [&fired, tag] { fired.push_back(tag); }));
+    }
+    for (int i = 0; i < 20; i += 3) {
+      q.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    double last = -1.0;
+    while (!q.empty()) {
+      const auto f = q.pop();
+      EXPECT_GE(f.time, last);
+      last = f.time;
+      f.fn();
+    }
+  }
+  // 50 rounds x 20 events, minus 7 cancellations per round.
+  EXPECT_EQ(fired.size(), 50u * 13u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue q;
   double last = -1.0;

@@ -158,6 +158,98 @@ TEST(OptimizeAll, PicksBestStrategy) {
   }
 }
 
+// --- AnalyticContext + memoization -----------------------------------------
+
+TEST(AnalyticContext, BitIdenticalToFreeFunctions) {
+  // The context must hoist constants without perturbing a single bit, so
+  // switching the optimizer onto it cannot move any planner decision.
+  const auto e = default_econ();
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    for (const int n : {1, 10, 200}) {
+      for (const double beta : {1.2, 1.6}) {
+        auto p = default_job();
+        p.num_tasks = n;
+        p.beta = beta;
+        const AnalyticContext ctx(s, p, e);
+        for (const double r : {0.0, 1.0, 2.0, 7.0, 33.0}) {
+          const auto from_ctx = ctx.evaluate(r);
+          const auto from_free = evaluate_utility(s, p, e, r);
+          EXPECT_EQ(from_ctx.pocd, from_free.pocd)
+              << to_string(s) << " n=" << n << " beta=" << beta << " r=" << r;
+          EXPECT_EQ(from_ctx.machine_time, from_free.machine_time)
+              << to_string(s) << " n=" << n << " beta=" << beta << " r=" << r;
+          EXPECT_EQ(from_ctx.cost, from_free.cost)
+              << to_string(s) << " n=" << n << " beta=" << beta << " r=" << r;
+          EXPECT_EQ(from_ctx.utility, from_free.utility)
+              << to_string(s) << " n=" << n << " beta=" << beta << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(AnalyticContext, GammaMatchesThreshold) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    const AnalyticContext ctx(s, p, e);
+    EXPECT_EQ(ctx.gamma(), gamma_threshold(s, p)) << to_string(s);
+  }
+}
+
+TEST(Optimizer, NeverEvaluatesTheSameRTwice) {
+  // The context counts actual utility evaluations; the optimizer reports the
+  // number of distinct r values it requested. Equality proves the memo
+  // deduplicated every ternary-search revisit on a representative grid.
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    for (const int n : {1, 10, 200}) {
+      for (const double theta : {1e-6, 1e-4, 1e-3}) {
+        auto p = default_job();
+        p.num_tasks = n;
+        auto e = default_econ();
+        e.theta = theta;
+        const AnalyticContext ctx(s, p, e);
+        const auto result = optimize(ctx);
+        EXPECT_EQ(ctx.evaluations(), result.evaluations)
+            << to_string(s) << " n=" << n << " theta=" << theta;
+        EXPECT_GE(result.lookups, result.evaluations)
+            << to_string(s) << " n=" << n << " theta=" << theta;
+      }
+    }
+  }
+}
+
+TEST(Optimizer, MemoizationActuallyDeduplicates) {
+  // On the default job the guarded ternary search revisits probe points, so
+  // lookups must exceed unique evaluations somewhere on the grid.
+  bool any_dedup = false;
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    const auto result = optimize(s, default_job(), default_econ());
+    if (result.lookups > result.evaluations) {
+      any_dedup = true;
+    }
+  }
+  EXPECT_TRUE(any_dedup);
+}
+
+TEST(Optimizer, ContextOverloadMatchesConvenienceOverload) {
+  const auto p = default_job();
+  const auto e = default_econ();
+  for (const Strategy s : {Strategy::kClone, Strategy::kSpeculativeRestart,
+                           Strategy::kSpeculativeResume}) {
+    const AnalyticContext ctx(s, p, e);
+    const auto via_ctx = optimize(ctx);
+    const auto via_args = optimize(s, p, e);
+    EXPECT_EQ(via_ctx.r_opt, via_args.r_opt) << to_string(s);
+    EXPECT_EQ(via_ctx.best.utility, via_args.best.utility) << to_string(s);
+    EXPECT_EQ(via_ctx.evaluations, via_args.evaluations) << to_string(s);
+  }
+}
+
 TEST(OptimizeAll, ResumeWinsOnDefaultJob) {
   // S-Resume dominates on PoCD at equal r and is cheaper than S-Restart;
   // with the default economics it should be the chosen strategy.

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Run Google Benchmark binaries and distill / compare their JSON output.
+
+This is the perf-tracking pipeline behind the committed BENCH_*.json files:
+
+  # Measure one tree (writes {"benchmarks": {name: {...}}, ...}):
+  tools/benchjson.py run --out before.json [--repetitions N] \
+      [--filter REGEX] build/micro_core build/micro_sim
+
+  # Distill two measurement files into a committed report:
+  tools/benchjson.py diff --before before.json --after after.json \
+      --out BENCH_PR4.json --label "PR 4 hot-path overhaul"
+
+`run` executes every listed binary with --benchmark_format=json, groups the
+per-repetition entries by benchmark name and records the *median* real time
+(medians are robust to the occasional slow repetition on shared CI runners).
+`diff` joins two measurement files by benchmark name and reports
+before/after medians plus the speedup factor. Only the Python standard
+library is used.
+"""
+
+import argparse
+import datetime
+import json
+import platform
+import statistics
+import subprocess
+import sys
+
+_UNIT_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def _to_ns(value, unit):
+    try:
+        return value * _UNIT_TO_NS[unit]
+    except KeyError:
+        raise SystemExit(f"unknown benchmark time unit: {unit!r}")
+
+
+def run_binary(path, repetitions, bench_filter):
+    cmd = [
+        path,
+        "--benchmark_format=json",
+        f"--benchmark_repetitions={repetitions}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE, check=True)
+    return json.loads(proc.stdout.decode())
+
+
+def cmd_run(args):
+    samples = {}
+    context = {}
+    for binary in args.binaries:
+        doc = run_binary(binary, args.repetitions, args.filter)
+        context = doc.get("context", context)
+        for entry in doc.get("benchmarks", []):
+            # With repetitions > 1 the output carries both per-repetition
+            # entries (run_type == "iteration") and aggregates; we compute
+            # our own median from the raw repetitions.
+            if entry.get("run_type", "iteration") != "iteration":
+                continue
+            name = entry["name"]
+            ns = _to_ns(entry["real_time"], entry.get("time_unit", "ns"))
+            samples.setdefault(name, []).append(ns)
+    if not samples:
+        raise SystemExit("no benchmarks matched; nothing to record")
+    result = {
+        "schema": "chronos-benchjson-run-v1",
+        "date": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "host": platform.platform(),
+        "repetitions": args.repetitions,
+        "benchmarks": {
+            name: {
+                "median_real_time_ns": statistics.median(times),
+                "repetitions": len(times),
+            }
+            for name, times in sorted(samples.items())
+        },
+    }
+    if context:
+        result["benchmark_context"] = {
+            k: context[k]
+            for k in ("num_cpus", "mhz_per_cpu", "library_build_type")
+            if k in context
+        }
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(result['benchmarks'])} benchmarks)")
+    return 0
+
+
+def cmd_diff(args):
+    with open(args.before) as fh:
+        before = json.load(fh)
+    with open(args.after) as fh:
+        after = json.load(fh)
+    before_b = before["benchmarks"]
+    after_b = after["benchmarks"]
+    joined = {}
+    for name in sorted(set(before_b) | set(after_b)):
+        row = {}
+        if name in before_b:
+            row["before_ns"] = round(before_b[name]["median_real_time_ns"], 2)
+        if name in after_b:
+            row["after_ns"] = round(after_b[name]["median_real_time_ns"], 2)
+        if "before_ns" in row and "after_ns" in row and row["after_ns"] > 0:
+            row["speedup"] = round(row["before_ns"] / row["after_ns"], 3)
+        joined[name] = row
+    report = {
+        "schema": "chronos-benchjson-diff-v1",
+        "label": args.label,
+        "host": after.get("host", ""),
+        "before_date": before.get("date", ""),
+        "after_date": after.get("date", ""),
+        "repetitions": after.get("repetitions", 0),
+        "benchmarks": joined,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    missing = [n for n, row in joined.items() if "speedup" not in row]
+    if missing:
+        print(f"warning: no before/after pair for: {', '.join(missing)}",
+              file=sys.stderr)
+    print(f"wrote {args.out}")
+    for name, row in joined.items():
+        if "speedup" in row:
+            print(f"  {row['speedup']:7.2f}x  {name}")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run binaries, record medians")
+    p_run.add_argument("--out", required=True)
+    p_run.add_argument("--repetitions", type=int, default=5)
+    p_run.add_argument("--filter", default="")
+    p_run.add_argument("binaries", nargs="+")
+    p_run.set_defaults(func=cmd_run)
+
+    p_diff = sub.add_parser("diff", help="join two run files into a report")
+    p_diff.add_argument("--before", required=True)
+    p_diff.add_argument("--after", required=True)
+    p_diff.add_argument("--out", required=True)
+    p_diff.add_argument("--label", default="")
+    p_diff.set_defaults(func=cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
