@@ -4,20 +4,22 @@
 
 #include "common/error.h"
 #include "core/cost.h"
+#include "core/kernels.h"
 #include "core/thresholds.h"
 #include "stats/pareto.h"
 
 namespace chronos::core {
 
-namespace {
-
-double job_from_task(double task_success, int num_tasks) {
-  // Task failures are independent under the model, so the job succeeds iff
-  // every task does (same expression as pocd.cpp).
-  return std::pow(task_success, static_cast<double>(num_tasks));
+SharedAnalytics::SharedAnalytics(const JobParams& params) : params_(params) {
+  params_.validate();
+  CHRONOS_EXPECTS(params_.beta > 1.0,
+                  "SharedAnalytics requires beta > 1 (S-Restart / S-Resume "
+                  "expected machine time is infinite otherwise)");
+  p_straggle_ = kernels::straggler_probability(params_);
+  below_ = expected_time_below_deadline(params_);
+  above_r0_ = stats::Pareto(params_.t_min, params_.beta)
+                  .truncated_mean_above(params_.deadline);
 }
-
-}  // namespace
 
 AnalyticContext::AnalyticContext(Strategy strategy, const JobParams& params,
                                  const Economics& econ)
@@ -25,7 +27,7 @@ AnalyticContext::AnalyticContext(Strategy strategy, const JobParams& params,
   params_.validate();
   econ_.validate();
   gamma_ = gamma_threshold(strategy_, params_);
-  p_straggle_ = std::pow(params_.t_min / params_.deadline, params_.beta);
+  p_straggle_ = kernels::straggler_probability(params_);
   switch (strategy_) {
     case Strategy::kClone:
       // Clone needs no further constants; its E(T) requires
@@ -34,10 +36,7 @@ AnalyticContext::AnalyticContext(Strategy strategy, const JobParams& params,
     case Strategy::kSpeculativeRestart:
       CHRONOS_EXPECTS(params_.beta > 1.0,
                       "machine_time_s_restart requires beta > 1");
-      // Each of the r attempts launched at tau_est fails iff its execution
-      // time exceeds D - tau_est (Eq. 34).
-      p_extra_ = std::pow(
-          params_.t_min / (params_.deadline - params_.tau_est), params_.beta);
+      p_extra_ = kernels::s_restart_extra_failure(params_);
       below_ = expected_time_below_deadline(params_);
       above_r0_ = stats::Pareto(params_.t_min, params_.beta)
                       .truncated_mean_above(params_.deadline);
@@ -45,12 +44,31 @@ AnalyticContext::AnalyticContext(Strategy strategy, const JobParams& params,
     case Strategy::kSpeculativeResume:
       CHRONOS_EXPECTS(params_.beta > 1.0,
                       "machine_time_s_resume requires beta > 1");
-      // r+1 fresh attempts process the remaining (1 - phi_est) fraction, so
-      // each fails iff (1-phi) T > D - tau_est (Eq. 47).
-      p_extra_ = std::pow((1.0 - params_.phi_est) * params_.t_min /
-                              (params_.deadline - params_.tau_est),
-                          params_.beta);
+      p_extra_ = kernels::s_resume_extra_failure(params_);
       below_ = expected_time_below_deadline(params_);
+      break;
+  }
+}
+
+AnalyticContext::AnalyticContext(Strategy strategy,
+                                 const SharedAnalytics& shared,
+                                 const Economics& econ)
+    : strategy_(strategy), params_(shared.params()), econ_(econ) {
+  // params were validated (and beta > 1 established) by SharedAnalytics.
+  econ_.validate();
+  gamma_ = gamma_threshold(strategy_, params_);
+  p_straggle_ = shared.p_straggle();
+  switch (strategy_) {
+    case Strategy::kClone:
+      break;
+    case Strategy::kSpeculativeRestart:
+      p_extra_ = kernels::s_restart_extra_failure(params_);
+      below_ = shared.below();
+      above_r0_ = shared.above_r0();
+      break;
+    case Strategy::kSpeculativeResume:
+      p_extra_ = kernels::s_resume_extra_failure(params_);
+      below_ = shared.below();
       break;
   }
 }
@@ -60,61 +78,28 @@ double AnalyticContext::pocd(double r) const {
   double task_fail = 0.0;
   switch (strategy_) {
     case Strategy::kClone:
-      task_fail = std::pow(p_straggle_, r + 1.0);
+      task_fail = kernels::clone_task_failure(p_straggle_, r);
       break;
     case Strategy::kSpeculativeRestart:
-      task_fail = p_straggle_ * std::pow(p_extra_, r);
+      task_fail = kernels::s_restart_task_failure(p_straggle_, p_extra_, r);
       break;
     case Strategy::kSpeculativeResume:
-      task_fail = p_straggle_ * std::pow(p_extra_, r + 1.0);
+      task_fail = kernels::s_resume_task_failure(p_straggle_, p_extra_, r);
       break;
   }
-  return job_from_task(1.0 - task_fail, params_.num_tasks);
+  return kernels::job_from_task(1.0 - task_fail, params_.num_tasks);
 }
 
 double AnalyticContext::machine_time(double r) const {
   CHRONOS_EXPECTS(r >= 0.0, "number of extra attempts r must be >= 0");
   switch (strategy_) {
-    case Strategy::kClone: {
-      const double n_eff = params_.beta * (r + 1.0);
-      CHRONOS_EXPECTS(n_eff > 1.0,
-                      "machine_time_clone requires beta * (r + 1) > 1");
-      // r attempts are charged until tau_kill; the winner is the min of r+1
-      // Pareto variates (Lemma 1).
-      const double winner =
-          params_.t_min + params_.t_min / (n_eff - 1.0);
-      return static_cast<double>(params_.num_tasks) *
-             (r * params_.tau_kill + winner);
-    }
-    case Strategy::kSpeculativeRestart: {
-      double above = 0.0;
-      if (r == 0.0) {
-        // No extra attempts: the straggler simply runs to completion.
-        above = above_r0_;
-      } else {
-        // The winner integral depends on r and stays quadrature-backed; the
-        // optimizer memoizes evaluations so it runs once per distinct r.
-        above = params_.tau_est +
-                r * (params_.tau_kill - params_.tau_est) +
-                s_restart_winner_time(params_, r);
-      }
-      return static_cast<double>(params_.num_tasks) *
-             (below_ * (1.0 - p_straggle_) + above * p_straggle_);
-    }
-    case Strategy::kSpeculativeResume: {
-      const double n_eff = params_.beta * (r + 1.0);
-      CHRONOS_EXPECTS(n_eff > 1.0,
-                      "machine_time_s_resume requires beta * (r + 1) > 1");
-      // Published Eq. 56 winner mean, as in machine_time_s_resume.
-      const double winner =
-          params_.t_min * std::pow(1.0 - params_.phi_est, n_eff) /
-              (n_eff - 1.0) +
-          params_.t_min;
-      const double above = params_.tau_est +
-                           r * (params_.tau_kill - params_.tau_est) + winner;
-      return static_cast<double>(params_.num_tasks) *
-             (below_ * (1.0 - p_straggle_) + above * p_straggle_);
-    }
+    case Strategy::kClone:
+      return kernels::clone_machine_time(params_, r);
+    case Strategy::kSpeculativeRestart:
+      return kernels::s_restart_machine_time(params_, r, p_straggle_, below_,
+                                             above_r0_);
+    case Strategy::kSpeculativeResume:
+      return kernels::s_resume_machine_time(params_, r, p_straggle_, below_);
   }
   CHRONOS_ENSURES(false, "unknown strategy");
 }

@@ -10,12 +10,17 @@
 // threshold), so each evaluation is reduced to the r-dependent remainder:
 // a couple of pow calls and a handful of multiplies.
 //
-// The context is deliberately bit-identical to the free functions: it
-// evaluates the exact same floating-point expressions in the same order,
-// only with the r-independent factors computed once. evaluate(r) therefore
-// equals evaluate_utility(strategy, params, econ, r) bit for bit (tests
-// assert this), and switching the optimizer onto the context cannot perturb
-// planner decisions or sweep goldens.
+// The context is deliberately bit-identical to the free functions: both call
+// paths evaluate the shared inline kernels in core/kernels.h, so they execute
+// the exact same floating-point expressions in the same order, only with the
+// r-independent factors computed once. evaluate(r) therefore equals
+// evaluate_utility(strategy, params, econ, r) bit for bit (enforced by the
+// compiler, asserted by tests), and switching the optimizer onto the context
+// cannot perturb planner decisions or sweep goldens.
+//
+// SharedAnalytics goes one step further for optimize_all: the constants that
+// all three strategies share (straggler probability and the truncated Pareto
+// means) are computed once and borrowed by each strategy's context.
 #pragma once
 
 #include <cstdint>
@@ -25,12 +30,49 @@
 
 namespace chronos::core {
 
+/// Per-job constants shared by all three strategies' analytic kernels.
+/// optimize_all builds one instance and hands it to each strategy's
+/// AnalyticContext so P(T > D), E[T; T <= D] and E[T | T > D] are computed
+/// exactly once per job instead of once per strategy. The values are
+/// bit-identical to what each context would compute on its own (same kernel
+/// expressions), so the batched path cannot move any planner decision.
+class SharedAnalytics {
+ public:
+  /// Validates params once. Requires beta > 1: S-Restart / S-Resume have
+  /// infinite expected machine time otherwise, exactly as their contexts do.
+  explicit SharedAnalytics(const JobParams& params);
+
+  const JobParams& params() const { return params_; }
+
+  /// P(T_1 > D) = pow(t_min / D, beta).
+  double p_straggle() const { return p_straggle_; }
+
+  /// Truncated Pareto mean below the deadline: E[T | T <= D].
+  double below() const { return below_; }
+
+  /// Truncated Pareto mean above the deadline: E[T | T > D] — the
+  /// S-Restart r == 0 branch.
+  double above_r0() const { return above_r0_; }
+
+ private:
+  JobParams params_;
+  double p_straggle_ = 0.0;
+  double below_ = 0.0;
+  double above_r0_ = 0.0;
+};
+
 class AnalyticContext {
  public:
   /// Validates params/econ once. For S-Restart / S-Resume additionally
   /// requires beta > 1 (finite expected machine time), like the
   /// machine_time_* free functions.
   AnalyticContext(Strategy strategy, const JobParams& params,
+                  const Economics& econ);
+
+  /// As above, but borrows the strategy-independent constants from an
+  /// already-built SharedAnalytics (optimize_all's batched path) instead of
+  /// recomputing them. Bit-identical to the params ctor.
+  AnalyticContext(Strategy strategy, const SharedAnalytics& shared,
                   const Economics& econ);
 
   Strategy strategy() const { return strategy_; }

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/numeric.h"
+#include "core/kernels.h"
 #include "stats/pareto.h"
 
 namespace chronos::core {
@@ -16,11 +17,6 @@ void check(const JobParams& params, double r) {
   CHRONOS_EXPECTS(r >= 0.0, "number of extra attempts r must be >= 0");
 }
 
-/// P(T_1 > D) for the original attempt.
-double straggler_probability(const JobParams& params) {
-  return std::pow(params.t_min / params.deadline, params.beta);
-}
-
 }  // namespace
 
 double expected_time_below_deadline(const JobParams& params) {
@@ -30,18 +26,22 @@ double expected_time_below_deadline(const JobParams& params) {
 
 double machine_time_clone(const JobParams& params, double r) {
   check(params, r);
-  const double n_eff = params.beta * (r + 1.0);
-  CHRONOS_EXPECTS(n_eff > 1.0,
-                  "machine_time_clone requires beta * (r + 1) > 1");
-  // r attempts are charged until tau_kill; the winner is the min of r+1
-  // Pareto variates (Lemma 1).
-  const double winner = params.t_min + params.t_min / (n_eff - 1.0);
-  return static_cast<double>(params.num_tasks) *
-         (r * params.tau_kill + winner);
+  return kernels::clone_machine_time(params, r);
 }
 
 double s_restart_winner_time(const JobParams& params, double r) {
   check(params, r);
+  // Closed form (see the derivation note in cost.h); the kernel enforces
+  // beta * (r + 1) > 1, without which the integral diverges.
+  return kernels::s_restart_winner_mean(params, r);
+}
+
+double s_restart_winner_time_reference(const JobParams& params, double r) {
+  check(params, r);
+  CHRONOS_EXPECTS(params.beta * (r + 1.0) > 1.0,
+                  "s_restart_winner_time requires beta * (r + 1) > 1: the "
+                  "survival product decays like w^{-beta(r+1)}, so the "
+                  "winner-time integral diverges otherwise");
   const double d_bar = params.deadline - params.tau_est;
   const double beta = params.beta;
   const double t_min = params.t_min;
@@ -52,8 +52,8 @@ double s_restart_winner_time(const JobParams& params, double r) {
   // E(W_hat) = int_0^inf  S_orig(w) * S_fresh(w)^r  dw with
   //   S_orig(w)  = 1 for w < D - tau_est, else (D / (w + tau_est))^beta
   //   S_fresh(w) = 1 for w < t_min,       else (t_min / w)^beta.
-  // Integrating the piecewise product numerically avoids the removable
-  // singularities of the published closed form at beta * r == 1.
+  // The piecewise product is integrated numerically; this is the quadrature
+  // implementation the closed form is validated against.
   const auto survival_product = [&](double w) {
     double s = 1.0;
     if (w >= d_bar) {
@@ -76,46 +76,20 @@ double machine_time_s_restart(const JobParams& params, double r) {
   check(params, r);
   CHRONOS_EXPECTS(params.beta > 1.0,
                   "machine_time_s_restart requires beta > 1");
-  const double p_straggle = straggler_probability(params);
+  const double p_straggle = kernels::straggler_probability(params);
   const double below = expected_time_below_deadline(params);
-  double above = 0.0;
-  if (r == 0.0) {
-    // No extra attempts: the straggler simply runs to completion.
-    const stats::Pareto attempt(params.t_min, params.beta);
-    above = attempt.truncated_mean_above(params.deadline);
-  } else {
-    above = params.tau_est + r * (params.tau_kill - params.tau_est) +
-            s_restart_winner_time(params, r);
-  }
-  return static_cast<double>(params.num_tasks) *
-         (below * (1.0 - p_straggle) + above * p_straggle);
+  const double above_r0 = stats::Pareto(params.t_min, params.beta)
+                              .truncated_mean_above(params.deadline);
+  return kernels::s_restart_machine_time(params, r, p_straggle, below,
+                                         above_r0);
 }
-
-namespace {
-
-double s_resume_total(const JobParams& params, double r, double winner) {
-  const double p_straggle = straggler_probability(params);
-  const double below = expected_time_below_deadline(params);
-  const double above = params.tau_est +
-                       r * (params.tau_kill - params.tau_est) + winner;
-  return static_cast<double>(params.num_tasks) *
-         (below * (1.0 - p_straggle) + above * p_straggle);
-}
-
-}  // namespace
 
 double machine_time_s_resume(const JobParams& params, double r) {
   check(params, r);
   CHRONOS_EXPECTS(params.beta > 1.0, "machine_time_s_resume requires beta > 1");
-  const double n_eff = params.beta * (r + 1.0);
-  CHRONOS_EXPECTS(n_eff > 1.0,
-                  "machine_time_s_resume requires beta * (r + 1) > 1");
-  // Published Eq. 56: E(W_new) = t_min (1-phi)^{beta(r+1)} / (beta(r+1)-1)
-  //                             + t_min.
-  const double winner =
-      params.t_min * std::pow(1.0 - params.phi_est, n_eff) / (n_eff - 1.0) +
-      params.t_min;
-  return s_resume_total(params, r, winner);
+  const double p_straggle = kernels::straggler_probability(params);
+  const double below = expected_time_below_deadline(params);
+  return kernels::s_resume_machine_time(params, r, p_straggle, below);
 }
 
 double machine_time_s_resume_exact(const JobParams& params, double r) {
@@ -125,11 +99,12 @@ double machine_time_s_resume_exact(const JobParams& params, double r) {
   const double n_eff = params.beta * (r + 1.0);
   CHRONOS_EXPECTS(n_eff > 1.0,
                   "machine_time_s_resume_exact requires beta * (r + 1) > 1");
-  // min of r+1 copies of (1-phi) T is Pareto((1-phi) t_min, beta (r+1)),
-  // whose mean is the Lemma-1 expression below.
-  const double winner =
-      (1.0 - params.phi_est) * params.t_min * n_eff / (n_eff - 1.0);
-  return s_resume_total(params, r, winner);
+  const double winner = kernels::s_resume_winner_mean_exact(params, n_eff);
+  const double p_straggle = kernels::straggler_probability(params);
+  const double below = expected_time_below_deadline(params);
+  return kernels::straggler_split_total(
+      params, below, kernels::speculation_above(params, r, winner),
+      p_straggle);
 }
 
 double machine_time(Strategy strategy, const JobParams& params, double r) {

@@ -128,12 +128,17 @@ OptimizationResult brute_force_optimize(Strategy strategy,
 
 BestStrategy optimize_all(const JobParams& params, const Economics& econ,
                           const OptimizerOptions& options) {
+  // One SharedAnalytics instance computes the constants every strategy's
+  // context needs (P(T > D) and the truncated Pareto means) exactly once;
+  // the three contexts borrow them instead of recomputing per strategy.
+  const SharedAnalytics shared(params);
   BestStrategy best;
   bool first = true;
   for (const Strategy strategy :
        {Strategy::kClone, Strategy::kSpeculativeRestart,
         Strategy::kSpeculativeResume}) {
-    auto result = optimize(strategy, params, econ, options);
+    const AnalyticContext context(strategy, shared, econ);
+    auto result = optimize(context, options);
     if (first || result.best.utility > best.result.best.utility) {
       best.strategy = strategy;
       best.result = result;

@@ -3,16 +3,11 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "core/kernels.h"
 
 namespace chronos::core {
 
 namespace {
-
-double job_from_task(double task_success, int num_tasks) {
-  // Task failures are independent under the model, so the job succeeds iff
-  // every task does.
-  return std::pow(task_success, static_cast<double>(num_tasks));
-}
 
 void check(const JobParams& params, double r) {
   params.validate();
@@ -23,21 +18,19 @@ void check(const JobParams& params, double r) {
 
 double pocd_clone(const JobParams& params, double r) {
   check(params, r);
-  const double p_one = std::pow(params.t_min / params.deadline, params.beta);
-  const double task_fail = std::pow(p_one, r + 1.0);
-  return job_from_task(1.0 - task_fail, params.num_tasks);
+  const double task_fail =
+      kernels::clone_task_failure(kernels::straggler_probability(params), r);
+  return kernels::job_from_task(1.0 - task_fail, params.num_tasks);
 }
 
 double pocd_s_restart(const JobParams& params, double r) {
   check(params, r);
   // Original attempt fails iff T_1 > D; each of the r attempts launched at
   // tau_est fails iff its execution time exceeds D - tau_est (Eq. 34).
-  const double p_original =
-      std::pow(params.t_min / params.deadline, params.beta);
-  const double p_extra = std::pow(
-      params.t_min / (params.deadline - params.tau_est), params.beta);
-  const double task_fail = p_original * std::pow(p_extra, r);
-  return job_from_task(1.0 - task_fail, params.num_tasks);
+  const double task_fail = kernels::s_restart_task_failure(
+      kernels::straggler_probability(params),
+      kernels::s_restart_extra_failure(params), r);
+  return kernels::job_from_task(1.0 - task_fail, params.num_tasks);
 }
 
 double pocd_s_resume(const JobParams& params, double r) {
@@ -45,14 +38,10 @@ double pocd_s_resume(const JobParams& params, double r) {
   // Straggler is killed; r+1 fresh attempts process the remaining
   // (1 - phi_est) fraction, so each fails iff (1-phi) T > D - tau_est
   // (Eq. 47).
-  const double p_original =
-      std::pow(params.t_min / params.deadline, params.beta);
-  const double p_extra =
-      std::pow((1.0 - params.phi_est) * params.t_min /
-                   (params.deadline - params.tau_est),
-               params.beta);
-  const double task_fail = p_original * std::pow(p_extra, r + 1.0);
-  return job_from_task(1.0 - task_fail, params.num_tasks);
+  const double task_fail = kernels::s_resume_task_failure(
+      kernels::straggler_probability(params),
+      kernels::s_resume_extra_failure(params), r);
+  return kernels::job_from_task(1.0 - task_fail, params.num_tasks);
 }
 
 double pocd(Strategy strategy, const JobParams& params, double r) {
@@ -74,9 +63,8 @@ double task_pocd(Strategy strategy, const JobParams& params, double r) {
 
 double pocd_no_speculation(const JobParams& params) {
   params.validate();
-  const double task_fail =
-      std::pow(params.t_min / params.deadline, params.beta);
-  return job_from_task(1.0 - task_fail, params.num_tasks);
+  const double task_fail = kernels::straggler_probability(params);
+  return kernels::job_from_task(1.0 - task_fail, params.num_tasks);
 }
 
 }  // namespace chronos::core

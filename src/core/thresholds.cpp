@@ -16,6 +16,14 @@ double log_base(double base, double x) {
   return std::log(x) / std::log(base);
 }
 
+/// D^beta / (N t_min^beta) — the logarithm argument shared by the S-Restart
+/// and S-Resume thresholds of Theorem 8 (previously duplicated verbatim).
+double gamma_log_arg(const JobParams& params) {
+  return std::pow(params.deadline, params.beta) /
+         (static_cast<double>(params.num_tasks) *
+          std::pow(params.t_min, params.beta));
+}
+
 }  // namespace
 
 double gamma_clone(const JobParams& params) {
@@ -29,20 +37,14 @@ double gamma_clone(const JobParams& params) {
 double gamma_s_restart(const JobParams& params) {
   params.validate();
   const double base = params.t_min / (params.deadline - params.tau_est);
-  const double arg = std::pow(params.deadline, params.beta) /
-                     (static_cast<double>(params.num_tasks) *
-                      std::pow(params.t_min, params.beta));
-  return log_base(base, arg) / params.beta;
+  return log_base(base, gamma_log_arg(params)) / params.beta;
 }
 
 double gamma_s_resume(const JobParams& params) {
   params.validate();
   const double base = (1.0 - params.phi_est) * params.t_min /
                       (params.deadline - params.tau_est);
-  const double arg = std::pow(params.deadline, params.beta) /
-                     (static_cast<double>(params.num_tasks) *
-                      std::pow(params.t_min, params.beta));
-  return log_base(base, arg) / params.beta - 1.0;
+  return log_base(base, gamma_log_arg(params)) / params.beta - 1.0;
 }
 
 double gamma_threshold(Strategy strategy, const JobParams& params) {

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Self-test for tools/benchjson.py (stdlib only; registered with ctest).
+
+Covers the cross-binary duplicate-name guard (pooling samples from two
+binaries under one name used to silently corrupt the recorded median), the
+`diff --max-regress` gate, and baselining a fresh run against a committed
+diff report.
+"""
+
+import importlib.util
+import json
+import os
+import pathlib
+import stat
+import sys
+import tempfile
+import unittest
+
+_TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_benchjson():
+    spec = importlib.util.spec_from_file_location(
+        "benchjson", _TOOLS / "benchjson.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+benchjson = _load_benchjson()
+
+
+def make_fake_binary(directory, filename, benchmarks):
+    """Writes an executable script that prints Google-Benchmark JSON.
+
+    `benchmarks` is a list of (name, run_type, real_time_ns) tuples.
+    """
+    doc = {
+        "context": {"num_cpus": 2, "mhz_per_cpu": 1000,
+                    "library_build_type": "release"},
+        "benchmarks": [
+            {"name": name, "run_type": run_type, "real_time": real_time,
+             "time_unit": "ns"}
+            for name, run_type, real_time in benchmarks
+        ],
+    }
+    path = os.path.join(directory, filename)
+    with open(path, "w") as fh:
+        fh.write(f"#!{sys.executable}\nimport json\n"
+                 f"print(json.dumps({doc!r}))\n")
+    os.chmod(path, os.stat(path).st_mode | stat.S_IXUSR)
+    return path
+
+
+def write_run_file(path, medians):
+    doc = {
+        "schema": "chronos-benchjson-run-v1",
+        "date": "2026-07-30T00:00:00+00:00",
+        "host": "test",
+        "repetitions": 3,
+        "benchmarks": {
+            name: {"median_real_time_ns": ns, "repetitions": 3}
+            for name, ns in medians.items()
+        },
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+
+
+class RunCommandTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def test_records_median_and_skips_aggregates(self):
+        binary = make_fake_binary(
+            self.dir.name, "bench_a",
+            [("BM_X", "iteration", 10.0), ("BM_X", "iteration", 30.0),
+             ("BM_X", "iteration", 20.0), ("BM_X", "aggregate", 999.0)])
+        out = self.path("out.json")
+        rc = benchjson.main(
+            ["run", "--out", out, "--repetitions", "3", binary])
+        self.assertEqual(rc, 0)
+        with open(out) as fh:
+            doc = json.load(fh)
+        self.assertEqual(doc["benchmarks"]["BM_X"]["median_real_time_ns"],
+                         20.0)
+        self.assertEqual(doc["benchmarks"]["BM_X"]["repetitions"], 3)
+
+    def test_rejects_cross_binary_duplicate(self):
+        first = make_fake_binary(self.dir.name, "bench_a",
+                                 [("BM_Dup", "iteration", 10.0)])
+        second = make_fake_binary(self.dir.name, "bench_b",
+                                  [("BM_Dup", "iteration", 50.0)])
+        with self.assertRaises(SystemExit) as ctx:
+            benchjson.main(["run", "--out", self.path("out.json"),
+                            first, second])
+        message = str(ctx.exception)
+        self.assertIn("BM_Dup", message)
+        self.assertIn(first, message)
+        self.assertIn(second, message)
+        self.assertFalse(os.path.exists(self.path("out.json")))
+
+    def test_distinct_names_across_binaries_are_fine(self):
+        first = make_fake_binary(self.dir.name, "bench_a",
+                                 [("BM_A", "iteration", 10.0)])
+        second = make_fake_binary(self.dir.name, "bench_b",
+                                  [("BM_B", "iteration", 50.0)])
+        out = self.path("out.json")
+        rc = benchjson.main(["run", "--out", out, first, second])
+        self.assertEqual(rc, 0)
+        with open(out) as fh:
+            doc = json.load(fh)
+        self.assertEqual(sorted(doc["benchmarks"]), ["BM_A", "BM_B"])
+
+
+class DiffCommandTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def diff(self, before, after, *extra):
+        return benchjson.main(
+            ["diff", "--before", before, "--after", after,
+             "--out", self.path("report.json"), *extra])
+
+    def test_gate_passes_within_threshold(self):
+        write_run_file(self.path("before.json"), {"BM_A": 100.0})
+        write_run_file(self.path("after.json"), {"BM_A": 105.0})
+        rc = self.diff(self.path("before.json"), self.path("after.json"),
+                       "--max-regress", "10")
+        self.assertEqual(rc, 0)
+
+    def test_gate_fails_past_threshold(self):
+        write_run_file(self.path("before.json"),
+                       {"BM_A": 100.0, "BM_B": 100.0})
+        write_run_file(self.path("after.json"),
+                       {"BM_A": 100.0, "BM_B": 125.0})
+        rc = self.diff(self.path("before.json"), self.path("after.json"),
+                       "--max-regress", "10")
+        self.assertEqual(rc, 1)
+        # The report is still written for inspection.
+        with open(self.path("report.json")) as fh:
+            report = json.load(fh)
+        self.assertEqual(report["benchmarks"]["BM_B"]["after_ns"], 125.0)
+
+    def test_no_gate_never_fails_on_regression(self):
+        write_run_file(self.path("before.json"), {"BM_A": 100.0})
+        write_run_file(self.path("after.json"), {"BM_A": 1000.0})
+        self.assertEqual(
+            self.diff(self.path("before.json"), self.path("after.json")), 0)
+
+    def test_accepts_committed_diff_report_as_baseline(self):
+        # A committed BENCH_*.json diff report serves as the --before side:
+        # its after_ns medians are the baseline.
+        report = {
+            "schema": "chronos-benchjson-diff-v1",
+            "label": "PR N",
+            "after_date": "2026-07-29T00:00:00+00:00",
+            "benchmarks": {
+                "BM_A": {"before_ns": 500.0, "after_ns": 100.0,
+                         "speedup": 5.0},
+                "BM_OnlyBefore": {"before_ns": 1.0},
+            },
+        }
+        with open(self.path("baseline.json"), "w") as fh:
+            json.dump(report, fh)
+        write_run_file(self.path("after.json"), {"BM_A": 130.0})
+        rc = self.diff(self.path("baseline.json"), self.path("after.json"),
+                       "--max-regress", "50")
+        self.assertEqual(rc, 0)
+        rc = self.diff(self.path("baseline.json"), self.path("after.json"),
+                       "--max-regress", "20")
+        self.assertEqual(rc, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -14,9 +14,14 @@ This is the perf-tracking pipeline behind the committed BENCH_*.json files:
 `run` executes every listed binary with --benchmark_format=json, groups the
 per-repetition entries by benchmark name and records the *median* real time
 (medians are robust to the occasional slow repetition on shared CI runners).
+A benchmark name appearing in two different binaries is an error: silently
+pooling their samples would corrupt the recorded median.
 `diff` joins two measurement files by benchmark name and reports
-before/after medians plus the speedup factor. Only the Python standard
-library is used.
+before/after medians plus the speedup factor; `--before` also accepts a
+previously committed diff report (its after_ns medians are the baseline).
+With `--max-regress PCT`, `diff` exits non-zero when any benchmark's median
+regressed past the threshold — the CI regression gate. Only the Python
+standard library is used.
 """
 
 import argparse
@@ -52,6 +57,7 @@ def run_binary(path, repetitions, bench_filter):
 def cmd_run(args):
     samples = {}
     context = {}
+    origin = {}  # benchmark name -> binary that first reported it
     for binary in args.binaries:
         doc = run_binary(binary, args.repetitions, args.filter)
         context = doc.get("context", context)
@@ -62,6 +68,17 @@ def cmd_run(args):
             if entry.get("run_type", "iteration") != "iteration":
                 continue
             name = entry["name"]
+            # Repetitions of one benchmark within one binary are the samples
+            # we take the median of; the same name coming from a *different*
+            # binary would silently pool unrelated measurements and corrupt
+            # that median, so it is a hard error.
+            prev = origin.setdefault(name, binary)
+            if prev != binary:
+                raise SystemExit(
+                    f"benchmark {name!r} is reported by two binaries "
+                    f"({prev} and {binary}); pooling their samples would "
+                    "corrupt the recorded median -- rename one of the "
+                    "benchmarks or drop one binary from the run")
             ns = _to_ns(entry["real_time"], entry.get("time_unit", "ns"))
             samples.setdefault(name, []).append(ns)
     if not samples:
@@ -92,20 +109,36 @@ def cmd_run(args):
     return 0
 
 
+def _load_medians(path):
+    """Loads {benchmark: median_ns} from a run file or a diff report.
+
+    Accepting a committed diff report (schema chronos-benchjson-diff-v1) as
+    the --before side lets CI gate a fresh measurement directly against the
+    BENCH_*.json baseline at the repo root: the report's after_ns medians are
+    the most recent committed measurement.
+    """
+    with open(path) as fh:
+        doc = json.load(fh)
+    benches = doc.get("benchmarks", {})
+    if doc.get("schema") == "chronos-benchjson-diff-v1":
+        medians = {name: row["after_ns"]
+                   for name, row in benches.items() if "after_ns" in row}
+        doc = dict(doc, date=doc.get("after_date", ""))
+        return medians, doc
+    return ({name: row["median_real_time_ns"]
+             for name, row in benches.items()}, doc)
+
+
 def cmd_diff(args):
-    with open(args.before) as fh:
-        before = json.load(fh)
-    with open(args.after) as fh:
-        after = json.load(fh)
-    before_b = before["benchmarks"]
-    after_b = after["benchmarks"]
+    before_b, before = _load_medians(args.before)
+    after_b, after = _load_medians(args.after)
     joined = {}
     for name in sorted(set(before_b) | set(after_b)):
         row = {}
         if name in before_b:
-            row["before_ns"] = round(before_b[name]["median_real_time_ns"], 2)
+            row["before_ns"] = round(before_b[name], 2)
         if name in after_b:
-            row["after_ns"] = round(after_b[name]["median_real_time_ns"], 2)
+            row["after_ns"] = round(after_b[name], 2)
         if "before_ns" in row and "after_ns" in row and row["after_ns"] > 0:
             row["speedup"] = round(row["before_ns"] / row["after_ns"], 3)
         joined[name] = row
@@ -129,6 +162,22 @@ def cmd_diff(args):
     for name, row in joined.items():
         if "speedup" in row:
             print(f"  {row['speedup']:7.2f}x  {name}")
+    if args.max_regress is not None:
+        limit = 1.0 + args.max_regress / 100.0
+        regressions = [
+            (name, (row["after_ns"] / row["before_ns"] - 1.0) * 100.0)
+            for name, row in joined.items()
+            if "speedup" in row and row["after_ns"] > row["before_ns"] * limit
+        ]
+        if regressions:
+            for name, pct in regressions:
+                print(f"REGRESSION: {name} is {pct:.1f}% slower than the "
+                      f"baseline (limit {args.max_regress:g}%)",
+                      file=sys.stderr)
+            return 1
+        print(f"regression gate passed (limit {args.max_regress:g}%, "
+              f"{sum(1 for r in joined.values() if 'speedup' in r)} "
+              "benchmarks compared)")
     return 0
 
 
@@ -144,10 +193,16 @@ def main(argv):
     p_run.set_defaults(func=cmd_run)
 
     p_diff = sub.add_parser("diff", help="join two run files into a report")
-    p_diff.add_argument("--before", required=True)
+    p_diff.add_argument("--before", required=True,
+                        help="baseline: a run file or a committed diff "
+                             "report (its after_ns medians are used)")
     p_diff.add_argument("--after", required=True)
     p_diff.add_argument("--out", required=True)
     p_diff.add_argument("--label", default="")
+    p_diff.add_argument("--max-regress", type=float, default=None,
+                        metavar="PCT",
+                        help="exit non-zero when any benchmark's median is "
+                             "more than PCT percent slower than the baseline")
     p_diff.set_defaults(func=cmd_diff)
 
     args = parser.parse_args(argv)
