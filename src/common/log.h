@@ -15,6 +15,16 @@ void set_level(Level level);
 /// Current global minimum level.
 Level level();
 
+/// Enables (or disables) a per-line context prefix: a UTC ISO-8601
+/// millisecond timestamp plus a small sequential thread id, e.g.
+///   [2026-08-08T12:34:56.789Z t1] [INFO] sweep: 4/6 cells
+/// Off by default — the bare `[INFO] message` format is unchanged unless a
+/// binary opts in (sweeprun --progress does).
+void set_prefix(bool enabled);
+
+/// Whether the timestamp/thread prefix is currently enabled.
+bool prefix();
+
 /// Emits one line at `level` (thread-safe, single write to stderr).
 void write(Level level, const std::string& message);
 

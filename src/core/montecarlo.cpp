@@ -5,11 +5,19 @@
 #include <optional>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 #include "stats/summary.h"
 
 namespace chronos::core {
 
 namespace {
+
+// The sampler's draw volume, counted in bulk after each run (one add per
+// monte_carlo call, not per task): every task invokes its kernel exactly
+// once, so kernel invocations are jobs * num_tasks.
+const obs::Counter c_mc_runs = obs::counter("core.mc.runs");
+const obs::Counter c_mc_jobs = obs::counter("core.mc.jobs");
+const obs::Counter c_mc_task_draws = obs::counter("core.mc.task_draws");
 
 struct TaskOutcome {
   bool met_deadline = false;
@@ -226,6 +234,10 @@ MonteCarloResult run_jobs(const Kernel& kernel, int num_tasks,
     met += job_met ? 1 : 0;
     times.add(job_time);
   }
+
+  c_mc_runs.add();
+  c_mc_jobs.add(jobs);
+  c_mc_task_draws.add(jobs * static_cast<std::uint64_t>(num_tasks));
 
   MonteCarloResult result;
   result.jobs = jobs;

@@ -6,12 +6,22 @@
 
 #include "common/error.h"
 #include "core/thresholds.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chronos::core {
 
 namespace {
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// The memoized search already counts unique evaluations and total lookups
+// per call (OptimizationResult); the registry exposes the process-wide
+// totals so a long-running planner's workload is visible without plumbing
+// every result somewhere.
+const obs::Counter c_calls = obs::counter("core.optimizer.calls");
+const obs::Counter c_evaluations = obs::counter("core.optimizer.evaluations");
+const obs::Counter c_lookups = obs::counter("core.optimizer.lookups");
 
 /// Memoizing objective over a precomputed AnalyticContext. The guarded
 /// ternary search revisits probe points when the bracket shrinks; the memo
@@ -59,6 +69,9 @@ OptimizationResult finish(const Objective& objective,
   if (!result.feasible) {
     result.r_opt = 0;
   }
+  c_calls.add();
+  c_evaluations.add(static_cast<std::uint64_t>(result.evaluations));
+  c_lookups.add(static_cast<std::uint64_t>(result.lookups));
   return result;
 }
 
@@ -128,6 +141,7 @@ OptimizationResult brute_force_optimize(Strategy strategy,
 
 BestStrategy optimize_all(const JobParams& params, const Economics& econ,
                           const OptimizerOptions& options) {
+  obs::TraceSpan span("core.optimize_all", "core");
   // One SharedAnalytics instance computes the constants every strategy's
   // context needs (P(T > D) and the truncated Pareto means) exactly once;
   // the three contexts borrow them instead of recomputing per strategy.
@@ -145,6 +159,8 @@ BestStrategy optimize_all(const JobParams& params, const Economics& econ,
       first = false;
     }
   }
+  span.note("r_opt", static_cast<double>(best.result.r_opt));
+  span.note("evaluations", static_cast<double>(best.result.evaluations));
   return best;
 }
 

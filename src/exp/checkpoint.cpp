@@ -11,10 +11,16 @@
 
 #include "common/error.h"
 #include "exp/sweep.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chronos::exp {
 
 namespace {
+
+const obs::Counter c_journal_entries = obs::counter("exp.journal.entries");
+const obs::Counter c_journal_bytes = obs::counter("exp.journal.bytes");
+const obs::Timer t_journal_flush = obs::timer("exp.journal.flush");
 
 constexpr std::string_view kHeaderPrefix = "chronos-journal v1 fp=";
 constexpr std::string_view kEntryPrefix = "cell ";
@@ -444,11 +450,17 @@ JournalWriter::~JournalWriter() {
 
 void JournalWriter::append(const JournalEntry& entry) {
   const std::string line = encode_journal_entry(entry) + "\n";
+  obs::TraceSpan span("journal.append", "exp");
+  span.note("cell", static_cast<double>(entry.cell));
+  span.note("bytes", static_cast<double>(line.size()));
+  const obs::ScopedTimer flush_timer(t_journal_flush);
   std::lock_guard<std::mutex> lock(mu_);
   const std::size_t written =
       std::fwrite(line.data(), 1, line.size(), file_);
   CHRONOS_EXPECTS(written == line.size() && std::fflush(file_) == 0,
                   "short write to journal '" + path_ + "'");
+  c_journal_entries.add();
+  c_journal_bytes.add(line.size());
 }
 
 }  // namespace chronos::exp

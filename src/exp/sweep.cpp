@@ -1,6 +1,7 @@
 #include "exp/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <utility>
 
@@ -9,10 +10,63 @@
 #include "common/rng.h"
 #include "exp/checkpoint.h"
 #include "exp/threadpool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace chronos::exp {
 
 namespace {
+
+const obs::Counter c_replications = obs::counter("exp.sweep.replications");
+const obs::Counter c_cells_finished = obs::counter("exp.sweep.cells_finished");
+const obs::Counter c_cells_planned = obs::counter("exp.sweep.cells_planned");
+const obs::Counter c_cells_resumed = obs::counter("exp.sweep.cells_resumed");
+const obs::Counter c_adaptive_batches =
+    obs::counter("exp.sweep.adaptive_batches");
+const obs::Timer t_replication = obs::timer("exp.sweep.replication");
+
+/// Shared progress state behind SweepOptions::on_progress. Counts are
+/// relaxed atomics bumped from pool workers; emit() snapshots them into a
+/// SweepProgress. Observational only — never read by the engine itself.
+class ProgressTracker {
+ public:
+  ProgressTracker(const SweepOptions& options, std::size_t cells_total,
+                  std::size_t cells_resumed)
+      : callback_(options.on_progress),
+        cells_total_(cells_total),
+        cells_resumed_(cells_resumed),
+        cells_done_(cells_resumed) {}
+
+  void replication_done() {
+    replications_.fetch_add(1, std::memory_order_relaxed);
+    emit();
+  }
+
+  void cell_done() {
+    cells_done_.fetch_add(1, std::memory_order_relaxed);
+    emit();
+  }
+
+  void emit() const {
+    if (!callback_) {
+      return;
+    }
+    SweepProgress progress;
+    progress.cells_total = cells_total_;
+    progress.cells_done = cells_done_.load(std::memory_order_relaxed);
+    progress.cells_resumed = cells_resumed_;
+    progress.replications_done =
+        replications_.load(std::memory_order_relaxed);
+    callback_(progress);
+  }
+
+ private:
+  const std::function<void(const SweepProgress&)>& callback_;
+  std::size_t cells_total_;
+  std::size_t cells_resumed_;
+  std::atomic<std::size_t> cells_done_;
+  std::atomic<std::uint64_t> replications_{0};
+};
 
 /// Decodes flat cell index `cell` into a point (policy-major, last axis
 /// fastest, like nested for-loops over policies then axes).
@@ -60,16 +114,24 @@ struct CellWork {
 };
 
 void run_one_replication(const SweepHooks& hooks, const CellWork& work,
-                         std::uint64_t seed, RunRecord& record) {
-  CellInstance instance = hooks.run(work.point, seed, work.shared);
-  CHRONOS_EXPECTS(instance.jobs != nullptr,
-                  "cell runner must set CellInstance::jobs");
-  record.result = run_experiment(*instance.jobs, instance.config);
-  record.has_utility = instance.report_utility;
-  if (instance.report_utility) {
-    record.utility =
-        record.result.metrics.utility(instance.theta, instance.r_min);
+                         std::uint64_t seed, RunRecord& record,
+                         ProgressTracker& progress) {
+  {
+    obs::TraceSpan span("sweep.rep", "exp");
+    span.note("cell", static_cast<double>(work.cell));
+    const obs::ScopedTimer rep_timer(t_replication);
+    CellInstance instance = hooks.run(work.point, seed, work.shared);
+    CHRONOS_EXPECTS(instance.jobs != nullptr,
+                    "cell runner must set CellInstance::jobs");
+    record.result = run_experiment(*instance.jobs, instance.config);
+    record.has_utility = instance.report_utility;
+    if (instance.report_utility) {
+      record.utility =
+          record.result.metrics.utility(instance.theta, instance.r_min);
+    }
   }
+  c_replications.add();
+  progress.replication_done();
 }
 
 }  // namespace
@@ -213,6 +275,16 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
     pending.push_back(std::move(work));
   }
 
+  obs::TraceSpan sweep_span("sweep.run", "exp");
+  sweep_span.note("cells", static_cast<double>(owned.size()));
+  sweep_span.note("resumed",
+                  static_cast<double>(owned.size() - pending.size()));
+  c_cells_planned.add(owned.size());
+  c_cells_resumed.add(owned.size() - pending.size());
+  ProgressTracker progress(options, owned.size(),
+                           owned.size() - pending.size());
+  progress.emit();  // startup snapshot: what the journal already covered
+
   if (!pending.empty()) {
     int threads = options.threads == 0 ? ThreadPool::hardware_threads()
                                        : options.threads;
@@ -224,7 +296,11 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
     // cells never re-plan — on restart only the remaining work is redone.
     if (hooks.setup) {
       for (CellWork& work : pending) {
-        pool.submit([&hooks, &work] { work.shared = hooks.setup(work.point); });
+        pool.submit([&hooks, &work] {
+          obs::TraceSpan span("sweep.setup", "exp");
+          span.note("cell", static_cast<double>(work.cell));
+          work.shared = hooks.setup(work.point);
+        });
       }
       pool.wait();
     }
@@ -240,8 +316,8 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
         for (std::size_t k = have; k < work.target; ++k) {
           const std::uint64_t seed = streams[work.cell].split_seed();
           RunRecord& record = work.runs[k];
-          pool.submit([&hooks, &work, &record, seed] {
-            run_one_replication(hooks, work, seed, record);
+          pool.submit([&hooks, &work, &record, seed, &progress] {
+            run_one_replication(hooks, work, seed, record, progress);
           });
         }
       }
@@ -260,12 +336,15 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
               rep_cap,
               work.runs.size() +
                   static_cast<std::size_t>(spec.adaptive.batch));
+          c_adaptive_batches.add();
           still_running.push_back(std::move(work));
         } else {
           if (journal != nullptr) {
             journal->append({work.cell, aggregate});
           }
           finished.insert_or_assign(work.cell, std::move(aggregate));
+          c_cells_finished.add();
+          progress.cell_done();
         }
       }
       pending = std::move(still_running);

@@ -196,6 +196,16 @@ struct ShardRange {
 /// The cell range `shard` owns in a grid of `num_cells` cells.
 ShardRange shard_cell_range(std::size_t num_cells, const ShardSpec& shard);
 
+/// Live progress of a running sweep, as passed to SweepOptions::on_progress.
+/// Counts cover this process's owned cell range only (sharded runs report
+/// their own slice).
+struct SweepProgress {
+  std::size_t cells_total = 0;    ///< cells this process owns
+  std::size_t cells_done = 0;     ///< finished, incl. journal-restored cells
+  std::size_t cells_resumed = 0;  ///< restored from the journal at startup
+  std::uint64_t replications_done = 0;  ///< run by this process so far
+};
+
 struct SweepOptions {
   /// Worker threads; 0 means ThreadPool::hardware_threads().
   int threads = 1;
@@ -217,6 +227,13 @@ struct SweepOptions {
   /// experiment templates, a binary's workload version). Changing it
   /// invalidates existing journals instead of silently trusting them.
   std::string journal_salt;
+
+  /// Optional progress observer: invoked once at startup (with the resumed
+  /// state) and after every completed replication and cell. Calls come
+  /// concurrently from pool workers, so the callback must be thread-safe,
+  /// fast, and must not throw. Purely observational — it cannot influence
+  /// seeds, scheduling, or results.
+  std::function<void(const SweepProgress&)> on_progress;
 };
 
 /// Runs the sweep. The result (and hence any report rendered from it) is

@@ -1,10 +1,21 @@
 #include "exp/threadpool.h"
 
+#include <string>
 #include <utility>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace chronos::exp {
+
+namespace {
+
+const obs::Counter c_tasks = obs::counter("exp.pool.tasks");
+const obs::Gauge g_queue_depth = obs::gauge("exp.pool.queue_depth");
+const obs::Timer t_wait = obs::timer("exp.pool.task_wait");
+const obs::Timer t_run = obs::timer("exp.pool.task_run");
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads, std::size_t max_pending)
     : max_pending_(max_pending) {
@@ -12,7 +23,7 @@ ThreadPool::ThreadPool(int num_threads, std::size_t max_pending)
   workers_.reserve(static_cast<std::size_t>(num_threads));
   try {
     for (int i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
+      workers_.emplace_back([this, i] { worker_loop(i); });
     }
   } catch (...) {
     // Thread creation failed (e.g. the host's thread limit); shut down the
@@ -48,7 +59,8 @@ void ThreadPool::submit(std::function<void()> task) {
     if (max_pending_ > 0) {
       all_idle_.wait(lock, [this] { return queue_.size() < max_pending_; });
     }
-    queue_.push_back(std::move(task));
+    queue_.push_back(Queued{std::move(task), obs::Stopwatch()});
+    g_queue_depth.update(queue_.size());
   }
   task_ready_.notify_one();
 }
@@ -68,9 +80,10 @@ int ThreadPool::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int index) {
+  obs::set_trace_thread_name("pool-" + std::to_string(index));
   for (;;) {
-    std::function<void()> task;
+    Queued task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -83,8 +96,11 @@ void ThreadPool::worker_loop() {
     }
     // Bounded submitters wake as soon as a slot frees up.
     all_idle_.notify_all();
+    t_wait.record_ns(task.enqueued.elapsed_ns());
+    c_tasks.add();
     try {
-      task();
+      const obs::ScopedTimer run_timer(t_run);
+      task.fn();
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) {

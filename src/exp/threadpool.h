@@ -4,6 +4,10 @@
 // blocks until every submitted task has run. An optional queue bound applies
 // backpressure to producers so a fast submitter cannot build an unbounded
 // backlog of captured task state.
+//
+// The pool reports into the observability registry (obs/metrics.h): task
+// count, queue-depth high-water, and wait-vs-run timing per task. All of it
+// is observational — scheduling decisions never read a metric.
 #pragma once
 
 #include <condition_variable>
@@ -14,6 +18,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace chronos::exp {
 
@@ -43,10 +49,17 @@ class ThreadPool {
   static int hardware_threads();
 
  private:
-  void worker_loop();
+  /// A queued task plus its enqueue timestamp (for the wait-time metric;
+  /// an empty struct member when observability is compiled out).
+  struct Queued {
+    std::function<void()> fn;
+    obs::Stopwatch enqueued;
+  };
+
+  void worker_loop(int index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Queued> queue_;
   std::mutex mu_;
   std::condition_variable task_ready_;  ///< signals workers
   std::condition_variable all_idle_;    ///< signals wait() / bounded submit()

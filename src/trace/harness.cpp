@@ -3,9 +3,18 @@
 #include "common/error.h"
 #include "common/log.h"
 #include "mapreduce/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace chronos::trace {
+
+namespace {
+
+const obs::Counter c_runs = obs::counter("sim.runs");
+const obs::Timer t_run = obs::timer("sim.run");
+
+}  // namespace
 
 ExperimentConfig ExperimentConfig::large_scale(
     strategies::PolicyKind policy, std::uint64_t seed) {
@@ -36,6 +45,10 @@ ExperimentConfig ExperimentConfig::testbed(strategies::PolicyKind policy,
 ExperimentResult run_experiment(const std::vector<TracedJob>& jobs,
                                 const ExperimentConfig& config) {
   CHRONOS_EXPECTS(!jobs.empty(), "experiment needs at least one job");
+  obs::TraceSpan span("sim.run", "sim");
+  span.note("jobs", static_cast<double>(jobs.size()));
+  const obs::ScopedTimer run_timer(t_run);
+  c_runs.add();
   sim::Simulator simulator;
   sim::Cluster cluster(config.cluster);
   auto policy = strategies::make_policy(config.policy, config.policy_options);
@@ -54,6 +67,7 @@ ExperimentResult run_experiment(const std::vector<TracedJob>& jobs,
   result.policy_name = policy->name();
   result.metrics = scheduler.metrics();
   result.events_executed = simulator.events_executed();
+  span.note("events", static_cast<double>(result.events_executed));
   CHRONOS_LOG(kDebug) << result.policy_name << ": " << jobs.size()
                       << " jobs, " << result.events_executed << " events";
   return result;

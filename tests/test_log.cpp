@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
+#include <vector>
+
 namespace chronos::log {
 namespace {
 
@@ -12,6 +16,15 @@ class LogLevelGuard {
 
  private:
   Level saved_;
+};
+
+class LogPrefixGuard {
+ public:
+  LogPrefixGuard() : saved_(prefix()) {}
+  ~LogPrefixGuard() { set_prefix(saved_); }
+
+ private:
+  bool saved_;
 };
 
 TEST(Log, LevelRoundTrips) {
@@ -62,6 +75,54 @@ TEST(Log, MacroEvaluatesAtOrAboveLevel) {
   set_level(Level::kDebug);
   CHRONOS_LOG(kDebug) << counted();
   EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, PrefixIsOffByDefaultAndLinesKeepTheBareFormat) {
+  LogLevelGuard level_guard;
+  LogPrefixGuard prefix_guard;
+  set_level(Level::kInfo);
+  set_prefix(false);
+  EXPECT_FALSE(prefix());
+  ::testing::internal::CaptureStderr();
+  write(Level::kInfo, "hello");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(captured, "[INFO] hello\n");
+}
+
+TEST(Log, PrefixAddsIso8601TimestampAndThreadId) {
+  LogLevelGuard level_guard;
+  LogPrefixGuard prefix_guard;
+  set_level(Level::kInfo);
+  set_prefix(true);
+  EXPECT_TRUE(prefix());
+  ::testing::internal::CaptureStderr();
+  write(Level::kWarn, "spaced message");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  // [2026-08-08T12:34:56.789Z t1] [WARN] spaced message
+  const std::regex line_re(
+      "^\\[\\d{4}-\\d{2}-\\d{2}T\\d{2}:\\d{2}:\\d{2}\\.\\d{3}Z t\\d+\\] "
+      "\\[WARN\\] spaced message\n$");
+  EXPECT_TRUE(std::regex_match(captured, line_re)) << captured;
+}
+
+TEST(Log, PrefixThreadIdsAreStablePerThread) {
+  LogLevelGuard level_guard;
+  LogPrefixGuard prefix_guard;
+  set_level(Level::kInfo);
+  set_prefix(true);
+  ::testing::internal::CaptureStderr();
+  write(Level::kInfo, "first");
+  write(Level::kInfo, "second");
+  const std::string captured = ::testing::internal::GetCapturedStderr();
+  const std::regex tid_re("Z (t\\d+)\\]");
+  std::vector<std::string> tids;
+  for (auto it = std::sregex_iterator(captured.begin(), captured.end(),
+                                      tid_re);
+       it != std::sregex_iterator(); ++it) {
+    tids.push_back((*it)[1].str());
+  }
+  ASSERT_EQ(tids.size(), 2u) << captured;
+  EXPECT_EQ(tids[0], tids[1]) << captured;
 }
 
 }  // namespace

@@ -528,7 +528,7 @@ TEST(SweeprunCli, UnknownFlagsAndBadShardSpecsExitWithUsage) {
   CommandResult result =
       run_command(kSweeprun + " " + manifest + " --frobnicate");
   EXPECT_EQ(result.status, 2) << result.output;
-  EXPECT_NE(result.output.find("unknown flag '--frobnicate'"),
+  EXPECT_NE(result.output.find("sweeprun: unknown flag '--frobnicate'"),
             std::string::npos)
       << result.output;
   EXPECT_NE(result.output.find("usage:"), std::string::npos)
@@ -538,9 +538,25 @@ TEST(SweeprunCli, UnknownFlagsAndBadShardSpecsExitWithUsage) {
     result = run_command(kSweeprun + " " + manifest + " --shard " +
                          std::string(bad));
     EXPECT_EQ(result.status, 2) << bad << ": " << result.output;
-    EXPECT_NE(result.output.find("--shard wants I/N"), std::string::npos)
+    EXPECT_NE(result.output.find("sweeprun: --shard wants I/N"),
+              std::string::npos)
         << result.output;
   }
+
+  // Flag diagnostics consistently carry the tool-name prefix so cluster
+  // logs attribute them.
+  result = run_command(kSweeprun + " " + manifest + " --journal");
+  EXPECT_EQ(result.status, 2) << result.output;
+  EXPECT_NE(result.output.find("sweeprun: missing value after --journal"),
+            std::string::npos)
+      << result.output;
+
+  result = run_command(kSweeprun + " " + manifest + " --merge --compact");
+  EXPECT_EQ(result.status, 2) << result.output;
+  EXPECT_NE(result.output.find(
+                "sweeprun: --merge and --compact are mutually exclusive"),
+            std::string::npos)
+      << result.output;
 
   // No manifest at all.
   result = run_command(kSweeprun);

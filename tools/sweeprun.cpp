@@ -8,6 +8,13 @@
 //   sweeprun MANIFEST [--threads N] [--reps N] [--journal PATH] [--fresh]
 //            [--csv PATH] [--json PATH] [--no-table]
 //            [--shard I/N] [--shard-dir DIR] [--merge [N]] [--compact]
+//            [--metrics-out PATH] [--trace-out PATH] [--progress]
+//
+// Observability: --metrics-out dumps the process metrics registry as JSON
+// after a successful run, --trace-out records Chrome-trace-event JSON
+// (open it at https://ui.perfetto.dev), and --progress logs a throttled
+// cells/replications/ETA line to stderr. All three are observational only:
+// reports and journal bytes are identical with or without them.
 //
 // CLI flags override the manifest's [output] and [shard] sections and the
 // replication count. With a journal configured, finished cells stream to it
@@ -27,15 +34,20 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <system_error>
 #include <vector>
 
+#include "common/log.h"
+#include "common/numeric.h"
 #include "exp/checkpoint.h"
 #include "exp/manifest.h"
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "exp/threadpool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -56,6 +68,9 @@ struct Cli {
   bool merge = false;
   std::size_t merge_count = 0;  ///< 0 = from --shard or the manifest
   bool compact = false;
+  std::string metrics_out;  ///< write the metrics registry JSON here
+  std::string trace_out;    ///< write Chrome trace-event JSON here
+  bool progress = false;    ///< throttled progress lines on stderr
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -63,7 +78,8 @@ struct Cli {
                "usage: %s MANIFEST [--threads N] [--reps N] "
                "[--journal PATH] [--fresh] [--csv PATH] [--json PATH] "
                "[--no-table] [--shard I/N] [--shard-dir DIR] [--merge [N]] "
-               "[--compact]\n",
+               "[--compact] [--metrics-out PATH] [--trace-out PATH] "
+               "[--progress]\n",
                argv0);
   std::exit(2);
 }
@@ -82,7 +98,7 @@ Cli parse_cli(int argc, char** argv) {
   Cli cli;
   const auto value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
-      std::fprintf(stderr, "missing value after %s\n", argv[i]);
+      std::fprintf(stderr, "sweeprun: missing value after %s\n", argv[i]);
       std::exit(2);
     }
     return argv[++i];
@@ -114,7 +130,8 @@ Cli parse_cli(int argc, char** argv) {
           !parse_size(spec.substr(slash + 1), count) || index < 1 ||
           index > count) {
         std::fprintf(stderr,
-                     "--shard wants I/N with 1 <= I <= N, got '%s'\n",
+                     "sweeprun: --shard wants I/N with 1 <= I <= N, "
+                     "got '%s'\n",
                      spec.c_str());
         std::exit(2);
       }
@@ -137,8 +154,14 @@ Cli parse_cli(int argc, char** argv) {
       cli.fresh = true;
     } else if (arg == "--no-table") {
       cli.no_table = true;
+    } else if (arg == "--metrics-out") {
+      cli.metrics_out = value(i);
+    } else if (arg == "--trace-out") {
+      cli.trace_out = value(i);
+    } else if (arg == "--progress") {
+      cli.progress = true;
     } else if (!arg.empty() && arg.front() == '-') {
-      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      std::fprintf(stderr, "sweeprun: unknown flag '%s'\n", arg.c_str());
       usage(argv[0]);
     } else if (cli.manifest_path.empty()) {
       cli.manifest_path = arg;
@@ -150,10 +173,78 @@ Cli parse_cli(int argc, char** argv) {
     usage(argv[0]);
   }
   if (cli.merge && cli.compact) {
-    std::fprintf(stderr, "--merge and --compact are mutually exclusive\n");
+    std::fprintf(stderr,
+                 "sweeprun: --merge and --compact are mutually exclusive\n");
+    std::exit(2);
+  }
+  if ((!cli.metrics_out.empty() || !cli.trace_out.empty()) &&
+      !obs::compiled_in()) {
+    std::fprintf(stderr,
+                 "sweeprun: --metrics-out/--trace-out need an observability "
+                 "build (this binary was built with CHRONOS_OBS=OFF)\n");
     std::exit(2);
   }
   return cli;
+}
+
+/// --progress reporter: one throttled stderr line through the log layer.
+/// The final line (every owned cell done) always prints; intermediate
+/// updates are rate-limited to one per ~250 ms.
+class ProgressPrinter {
+ public:
+  void report(const exp::SweepProgress& progress) {
+    const auto now = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool final = progress.cells_done >= progress.cells_total;
+    if (!final && reported_once_ &&
+        now - last_ < std::chrono::milliseconds(250)) {
+      return;
+    }
+    reported_once_ = true;
+    last_ = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - start_).count();
+    std::string line = "sweep: " + std::to_string(progress.cells_done) +
+                       "/" + std::to_string(progress.cells_total) +
+                       " cells, " +
+                       std::to_string(progress.replications_done) + " reps";
+    if (elapsed > 0.0 && progress.replications_done > 0) {
+      const double rate =
+          static_cast<double>(progress.replications_done) / elapsed;
+      line += ", " + numeric::format_double_fixed(rate, 1) + " reps/s";
+    }
+    // ETA from cells this run actually finished (resumed cells cost ~0).
+    const std::size_t fresh_done =
+        progress.cells_done - progress.cells_resumed;
+    const std::size_t remaining =
+        progress.cells_total - progress.cells_done;
+    if (fresh_done > 0 && remaining > 0 && elapsed > 0.0) {
+      const double eta =
+          elapsed / static_cast<double>(fresh_done) *
+          static_cast<double>(remaining);
+      line += ", eta ~" + numeric::format_double_fixed(eta, 1) + "s";
+    }
+    log::write(log::Level::kInfo, line);
+  }
+
+ private:
+  std::mutex mu_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point last_{};
+  bool reported_once_ = false;
+};
+
+/// Dumps the metrics registry / trace buffer after a successful run.
+void write_obs_outputs(const Cli& cli) {
+  if (!cli.metrics_out.empty()) {
+    exp::write_file(cli.metrics_out, obs::metrics_json());
+    std::printf("metrics written to %s\n", cli.metrics_out.c_str());
+  }
+  if (!cli.trace_out.empty()) {
+    obs::write_trace_json(cli.trace_out);
+    std::printf("trace written to %s\n", cli.trace_out.c_str());
+  }
 }
 
 void render_reports(const exp::SweepResult& result,
@@ -260,6 +351,14 @@ int main(int argc, char** argv) {
                  error.what());
     return 1;
   }
+  if (cli.progress) {
+    log::set_prefix(true);  // progress lines carry timestamp + thread id
+  }
+  if (!cli.trace_out.empty()) {
+    obs::start_tracing();
+    obs::set_trace_thread_name("main");
+  }
+  ProgressPrinter progress_printer;
   try {
     if (cli.reps > 0) {
       manifest.spec.replications = cli.reps;
@@ -283,16 +382,26 @@ int main(int argc, char** argv) {
         exp::spec_fingerprint(manifest.spec, salt);
 
     if (cli.compact) {
-      return run_compact(manifest, cli, fingerprint, shard_dir);
+      const int rc = run_compact(manifest, cli, fingerprint, shard_dir);
+      if (rc == 0) write_obs_outputs(cli);
+      return rc;
     }
     if (cli.merge) {
-      return run_merge(manifest, cli, fingerprint, shard_dir);
+      const int rc = run_merge(manifest, cli, fingerprint, shard_dir);
+      if (rc == 0) write_obs_outputs(cli);
+      return rc;
     }
 
     exp::SweepOptions options;
     options.threads = cli.threads;
     options.journal = manifest.outputs.journal;
     options.journal_salt = salt;
+    if (cli.progress) {
+      options.on_progress = [&progress_printer](
+                                const exp::SweepProgress& progress) {
+        progress_printer.report(progress);
+      };
+    }
     const bool sharded = cli.shard_count > 0;
     if (sharded) {
       options.shard.index = cli.shard_index;
@@ -315,8 +424,8 @@ int main(int argc, char** argv) {
       const auto contents = exp::read_journal(options.journal, fingerprint);
       if (contents.found && !contents.compatible) {
         std::fprintf(stderr,
-                     "note: journal '%s' belongs to a different sweep; "
-                     "starting fresh\n",
+                     "sweeprun: note: journal '%s' belongs to a different "
+                     "sweep; starting fresh\n",
                      options.journal.c_str());
       }
       for (const auto& [cell, aggregate] : contents.cells) {
@@ -359,9 +468,11 @@ int main(int argc, char** argv) {
       std::printf("shard journal written to %s; run --merge once all %zu "
                   "shards are done\n",
                   options.journal.c_str(), cli.shard_count);
+      write_obs_outputs(cli);
       return 0;
     }
     render_reports(result, manifest.outputs);
+    write_obs_outputs(cli);
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sweeprun: %s\n", error.what());
