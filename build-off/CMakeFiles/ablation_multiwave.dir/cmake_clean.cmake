@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiwave.dir/bench/ablation_multiwave.cpp.o"
+  "CMakeFiles/ablation_multiwave.dir/bench/ablation_multiwave.cpp.o.d"
+  "ablation_multiwave"
+  "ablation_multiwave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiwave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resume_offset.dir/bench/ablation_resume_offset.cpp.o"
+  "CMakeFiles/ablation_resume_offset.dir/bench/ablation_resume_offset.cpp.o.d"
+  "ablation_resume_offset"
+  "ablation_resume_offset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resume_offset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_report"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/bench_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

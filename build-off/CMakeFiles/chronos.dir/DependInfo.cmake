@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/error.cpp" "CMakeFiles/chronos.dir/src/common/error.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/common/error.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/chronos.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/numeric.cpp" "CMakeFiles/chronos.dir/src/common/numeric.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/common/numeric.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/chronos.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/core/analytic_context.cpp" "CMakeFiles/chronos.dir/src/core/analytic_context.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/analytic_context.cpp.o.d"
+  "/root/repo/src/core/comparison.cpp" "CMakeFiles/chronos.dir/src/core/comparison.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/comparison.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "CMakeFiles/chronos.dir/src/core/cost.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/cost.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "CMakeFiles/chronos.dir/src/core/frontier.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/frontier.cpp.o.d"
+  "/root/repo/src/core/generic.cpp" "CMakeFiles/chronos.dir/src/core/generic.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/generic.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "CMakeFiles/chronos.dir/src/core/model.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/model.cpp.o.d"
+  "/root/repo/src/core/montecarlo.cpp" "CMakeFiles/chronos.dir/src/core/montecarlo.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/montecarlo.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "CMakeFiles/chronos.dir/src/core/optimizer.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/optimizer.cpp.o.d"
+  "/root/repo/src/core/pocd.cpp" "CMakeFiles/chronos.dir/src/core/pocd.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/pocd.cpp.o.d"
+  "/root/repo/src/core/thresholds.cpp" "CMakeFiles/chronos.dir/src/core/thresholds.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/thresholds.cpp.o.d"
+  "/root/repo/src/core/utility.cpp" "CMakeFiles/chronos.dir/src/core/utility.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/core/utility.cpp.o.d"
+  "/root/repo/src/exp/aggregate.cpp" "CMakeFiles/chronos.dir/src/exp/aggregate.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/exp/aggregate.cpp.o.d"
+  "/root/repo/src/exp/checkpoint.cpp" "CMakeFiles/chronos.dir/src/exp/checkpoint.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/exp/checkpoint.cpp.o.d"
+  "/root/repo/src/exp/manifest.cpp" "CMakeFiles/chronos.dir/src/exp/manifest.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/exp/manifest.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "CMakeFiles/chronos.dir/src/exp/report.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/exp/report.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "CMakeFiles/chronos.dir/src/exp/sweep.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/exp/sweep.cpp.o.d"
+  "/root/repo/src/exp/threadpool.cpp" "CMakeFiles/chronos.dir/src/exp/threadpool.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/exp/threadpool.cpp.o.d"
+  "/root/repo/src/mapreduce/job.cpp" "CMakeFiles/chronos.dir/src/mapreduce/job.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/mapreduce/job.cpp.o.d"
+  "/root/repo/src/mapreduce/progress.cpp" "CMakeFiles/chronos.dir/src/mapreduce/progress.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/mapreduce/progress.cpp.o.d"
+  "/root/repo/src/mapreduce/scheduler.cpp" "CMakeFiles/chronos.dir/src/mapreduce/scheduler.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/mapreduce/scheduler.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "CMakeFiles/chronos.dir/src/obs/metrics.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "CMakeFiles/chronos.dir/src/obs/trace.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/obs/trace.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "CMakeFiles/chronos.dir/src/sim/cluster.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/chronos.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/chronos.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/open_system.cpp" "CMakeFiles/chronos.dir/src/sim/open_system.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/sim/open_system.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/chronos.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "CMakeFiles/chronos.dir/src/stats/distribution.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/stats/distribution.cpp.o.d"
+  "/root/repo/src/stats/estimators.cpp" "CMakeFiles/chronos.dir/src/stats/estimators.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/stats/estimators.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "CMakeFiles/chronos.dir/src/stats/histogram.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/pareto.cpp" "CMakeFiles/chronos.dir/src/stats/pareto.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/stats/pareto.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "CMakeFiles/chronos.dir/src/stats/summary.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/stats/summary.cpp.o.d"
+  "/root/repo/src/strategies/chronos_policies.cpp" "CMakeFiles/chronos.dir/src/strategies/chronos_policies.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/strategies/chronos_policies.cpp.o.d"
+  "/root/repo/src/strategies/factory.cpp" "CMakeFiles/chronos.dir/src/strategies/factory.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/strategies/factory.cpp.o.d"
+  "/root/repo/src/strategies/hadoop.cpp" "CMakeFiles/chronos.dir/src/strategies/hadoop.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/strategies/hadoop.cpp.o.d"
+  "/root/repo/src/trace/arrivals.cpp" "CMakeFiles/chronos.dir/src/trace/arrivals.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/trace/arrivals.cpp.o.d"
+  "/root/repo/src/trace/google_trace.cpp" "CMakeFiles/chronos.dir/src/trace/google_trace.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/trace/google_trace.cpp.o.d"
+  "/root/repo/src/trace/harness.cpp" "CMakeFiles/chronos.dir/src/trace/harness.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/trace/harness.cpp.o.d"
+  "/root/repo/src/trace/planner.cpp" "CMakeFiles/chronos.dir/src/trace/planner.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/trace/planner.cpp.o.d"
+  "/root/repo/src/trace/spot_price.cpp" "CMakeFiles/chronos.dir/src/trace/spot_price.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/trace/spot_price.cpp.o.d"
+  "/root/repo/src/trace/workload.cpp" "CMakeFiles/chronos.dir/src/trace/workload.cpp.o" "gcc" "CMakeFiles/chronos.dir/src/trace/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

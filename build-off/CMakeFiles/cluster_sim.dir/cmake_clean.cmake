@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_sim.dir/examples/cluster_sim.cpp.o"
+  "CMakeFiles/cluster_sim.dir/examples/cluster_sim.cpp.o.d"
+  "cluster_sim"
+  "cluster_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_testbed.dir/bench/fig2_testbed.cpp.o"
+  "CMakeFiles/fig2_testbed.dir/bench/fig2_testbed.cpp.o.d"
+  "fig2_testbed"
+  "fig2_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

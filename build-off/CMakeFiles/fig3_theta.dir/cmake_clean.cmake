@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_theta.dir/bench/fig3_theta.cpp.o"
+  "CMakeFiles/fig3_theta.dir/bench/fig3_theta.cpp.o.d"
+  "fig3_theta"
+  "fig3_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_beta.dir/bench/fig4_beta.cpp.o"
+  "CMakeFiles/fig4_beta.dir/bench/fig4_beta.cpp.o.d"
+  "fig4_beta"
+  "fig4_beta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_beta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_ropt_hist.dir/bench/fig5_ropt_hist.cpp.o"
+  "CMakeFiles/fig5_ropt_hist.dir/bench/fig5_ropt_hist.cpp.o.d"
+  "fig5_ropt_hist"
+  "fig5_ropt_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ropt_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_and_plan.dir/examples/fit_and_plan.cpp.o"
+  "CMakeFiles/fit_and_plan.dir/examples/fit_and_plan.cpp.o.d"
+  "fit_and_plan"
+  "fit_and_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_and_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

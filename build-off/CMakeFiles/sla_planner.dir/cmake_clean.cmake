@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_planner.dir/examples/sla_planner.cpp.o"
+  "CMakeFiles/sla_planner.dir/examples/sla_planner.cpp.o.d"
+  "sla_planner"
+  "sla_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

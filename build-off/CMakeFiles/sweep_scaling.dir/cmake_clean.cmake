@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_scaling.dir/bench/sweep_scaling.cpp.o"
+  "CMakeFiles/sweep_scaling.dir/bench/sweep_scaling.cpp.o.d"
+  "sweep_scaling"
+  "sweep_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweeprun.dir/tools/sweeprun.cpp.o"
+  "CMakeFiles/sweeprun.dir/tools/sweeprun.cpp.o.d"
+  "sweeprun"
+  "sweeprun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweeprun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

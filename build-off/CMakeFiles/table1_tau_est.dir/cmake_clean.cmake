@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tau_est.dir/bench/table1_tau_est.cpp.o"
+  "CMakeFiles/table1_tau_est.dir/bench/table1_tau_est.cpp.o.d"
+  "table1_tau_est"
+  "table1_tau_est.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tau_est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

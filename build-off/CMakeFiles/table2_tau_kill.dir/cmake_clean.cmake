@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_tau_kill.dir/bench/table2_tau_kill.cpp.o"
+  "CMakeFiles/table2_tau_kill.dir/bench/table2_tau_kill.cpp.o.d"
+  "table2_tau_kill"
+  "table2_tau_kill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_tau_kill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

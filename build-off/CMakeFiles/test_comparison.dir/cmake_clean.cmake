@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comparison.dir/tests/test_comparison.cpp.o"
+  "CMakeFiles/test_comparison.dir/tests/test_comparison.cpp.o.d"
+  "test_comparison"
+  "test_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cost_closedform.dir/tests/test_cost_closedform.cpp.o"
+  "CMakeFiles/test_cost_closedform.dir/tests/test_cost_closedform.cpp.o.d"
+  "test_cost_closedform"
+  "test_cost_closedform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cost_closedform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generic.dir/tests/test_generic.cpp.o"
+  "CMakeFiles/test_generic.dir/tests/test_generic.cpp.o.d"
+  "test_generic"
+  "test_generic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_manifest.dir/tests/test_manifest.cpp.o"
+  "CMakeFiles/test_manifest.dir/tests/test_manifest.cpp.o.d"
+  "test_manifest"
+  "test_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_montecarlo_fastpath.dir/tests/test_montecarlo_fastpath.cpp.o"
+  "CMakeFiles/test_montecarlo_fastpath.dir/tests/test_montecarlo_fastpath.cpp.o.d"
+  "test_montecarlo_fastpath"
+  "test_montecarlo_fastpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_montecarlo_fastpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

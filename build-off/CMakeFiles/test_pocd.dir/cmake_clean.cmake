@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pocd.dir/tests/test_pocd.cpp.o"
+  "CMakeFiles/test_pocd.dir/tests/test_pocd.cpp.o.d"
+  "test_pocd"
+  "test_pocd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pocd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_golden.dir/tests/test_report_golden.cpp.o"
+  "CMakeFiles/test_report_golden.dir/tests/test_report_golden.cpp.o.d"
+  "test_report_golden"
+  "test_report_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

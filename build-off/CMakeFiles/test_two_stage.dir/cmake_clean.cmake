@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_stage.dir/tests/test_two_stage.cpp.o"
+  "CMakeFiles/test_two_stage.dir/tests/test_two_stage.cpp.o.d"
+  "test_two_stage"
+  "test_two_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_utility_thresholds.dir/tests/test_utility_thresholds.cpp.o"
+  "CMakeFiles/test_utility_thresholds.dir/tests/test_utility_thresholds.cpp.o.d"
+  "test_utility_thresholds"
+  "test_utility_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_utility_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stage_job.dir/examples/two_stage_job.cpp.o"
+  "CMakeFiles/two_stage_job.dir/examples/two_stage_job.cpp.o.d"
+  "two_stage_job"
+  "two_stage_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stage_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

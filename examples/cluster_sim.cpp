@@ -1,26 +1,22 @@
-// Cluster simulation: replay a synthetic Google-style trace through the
-// discrete-event MapReduce cluster under any of the six strategies and
-// report the §VII metrics with confidence intervals.
+// Cluster simulation: run the long-lived open-system engine — Poisson (or
+// diurnal) job arrivals against the discrete-event MapReduce cluster, each
+// arrival planned at admission time and pushed through the capacity-aware
+// admission controller — and report the steady-state view: utilization,
+// Little's-law occupancy, sojourn time, deadline-miss rate, cost, and how
+// the admitted jobs were scheduled.
 //
-// Runs `reps` independent replications (deterministic seeds derived by the
-// sweep engine) spread across `threads` workers — the simplest use of the
-// src/exp/ engine: a one-cell grid.
-//
-//   ./cluster_sim [strategy] [num_jobs] [theta] [reps] [threads]
-//   strategy in {hadoop-ns, hadoop-s, mantri, clone, s-restart, s-resume}
-//   e.g. ./cluster_sim s-resume 300 1e-4 5 4
-#include <algorithm>
+//   ./cluster_sim [strategy] [rate] [hours] [theta] [seed]
+//   strategy in {hadoop-ns, hadoop-s, mantri, clone, s-restart, s-resume,
+//                auto}; auto picks per job via the Algorithm-1 optimizer
+//   rate     mean arrivals per second (default 0.05, ~70% load)
+//   hours    arrival horizon, first 10% used as warm-up (default 1)
+//   e.g. ./cluster_sim auto 0.05 2 1e-4 7
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
-#include <utility>
-#include <vector>
 
-#include "exp/report.h"
-#include "exp/sweep.h"
-#include "trace/harness.h"
-#include "trace/planner.h"
+#include "sim/open_system.h"
+#include "strategies/policies.h"
 
 namespace {
 
@@ -36,7 +32,7 @@ PolicyKind parse_policy(const std::string& name) {
   if (name == "s-resume") return PolicyKind::kSResume;
   std::fprintf(stderr,
                "unknown strategy '%s'; expected hadoop-ns|hadoop-s|mantri|"
-               "clone|s-restart|s-resume\n",
+               "clone|s-restart|s-resume|auto\n",
                name.c_str());
   std::exit(1);
 }
@@ -44,88 +40,81 @@ PolicyKind parse_policy(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const PolicyKind policy =
-      argc > 1 ? parse_policy(argv[1]) : PolicyKind::kSResume;
-  const int num_jobs = argc > 2 ? std::atoi(argv[2]) : 300;
-  const double theta = argc > 3 ? std::atof(argv[3]) : 1e-4;
-  const int reps = argc > 4 ? std::max(1, std::atoi(argv[4])) : 5;
-  const int threads =
-      argc > 5 ? std::max(0, std::atoi(argv[5])) : 0;  // 0 = hardware
+  const std::string strategy = argc > 1 ? argv[1] : "s-resume";
+  const double rate = argc > 2 ? std::atof(argv[2]) : 0.05;
+  const double hours = argc > 3 ? std::atof(argv[3]) : 1.0;
+  const double theta = argc > 4 ? std::atof(argv[4]) : 1e-4;
+  const std::uint64_t seed =
+      argc > 5 ? static_cast<std::uint64_t>(std::atoll(argv[5])) : 1;
 
-  trace::TraceConfig trace_config;
-  trace_config.num_jobs = num_jobs;
-  trace_config.duration_hours = 10.0;
-  trace_config.mean_tasks = 60.0;
-  trace_config.max_tasks = 600;
-  const auto base_jobs = generate_trace(trace_config);
-
-  std::printf("Trace: %zu jobs, %lld tasks over %.0f h\n", base_jobs.size(),
-              static_cast<long long>(trace::total_tasks(base_jobs)),
-              trace_config.duration_hours);
-
-  double r_min_sum = 0.0;
-  for (const auto& job : base_jobs) {
-    core::JobParams params;
-    params.num_tasks = job.spec.num_tasks;
-    params.deadline = job.spec.deadline;
-    params.t_min = job.spec.t_min;
-    params.beta = job.spec.beta;
-    r_min_sum += core::pocd_no_speculation(params);
+  sim::OpenSystemConfig config;
+  config.arrivals.kind = trace::ArrivalKind::kPoisson;
+  config.arrivals.rate = rate;
+  config.workload.mean_tasks = 60.0;
+  config.workload.max_tasks = 600;
+  config.planner.theta = theta;
+  if (strategy == "auto") {
+    config.auto_strategy = true;
+  } else {
+    config.policy = parse_policy(strategy);
   }
-  const double r_min = r_min_sum / static_cast<double>(base_jobs.size());
+  sim::NodeConfig node;
+  node.containers = 8;
+  config.cluster = sim::ClusterConfig::uniform(64, node);
+  config.duration = hours * 3600.0;
+  config.warm_up = 0.1 * config.duration;
+  config.seed = seed;
 
-  // One-cell sweep: the setup hook plans the trace once; the cell's `reps`
-  // replications share it under independent simulator seeds.
-  exp::SweepSpec spec;
-  spec.name = "cluster_sim";
-  spec.policies = {policy};
-  spec.replications = reps;
-  spec.seed = 1;
-  exp::SweepHooks hooks;
-  hooks.setup = [&](const exp::SweepPoint& point) {
-    trace::PlannerConfig planner;
-    planner.theta = theta;
-    const trace::SpotPriceModel prices;
-    auto jobs = base_jobs;
-    plan_trace(jobs, point.policy, planner, prices);
-    exp::SharedCell shared;
-    shared.jobs = std::make_shared<const std::vector<trace::TracedJob>>(
-        std::move(jobs));
-    shared.r_min = r_min;
-    return shared;
-  };
-  hooks.run = [&](const exp::SweepPoint& point, std::uint64_t seed,
-                  const exp::SharedCell& shared) {
-    exp::CellInstance instance;
-    instance.jobs = shared.jobs;
-    instance.config =
-        trace::ExperimentConfig::large_scale(point.policy, seed);
-    instance.report_utility = true;
-    instance.theta = theta;
-    instance.r_min = shared.r_min;
-    return instance;
-  };
-  exp::SweepOptions options;
-  options.threads = threads;
-  const auto sweep = exp::run_sweep(spec, hooks, options);
-  const auto& cell = sweep.cells.front();
-  const auto& agg = cell.aggregate;
+  const auto result = sim::run_open_system(config);
 
-  std::printf("\nStrategy: %s (theta = %g, %d replications)\n",
-              cell.policy_name.c_str(), theta, reps);
-  std::printf("  PoCD            : %.4f +- %.4f (95%% CI over reps)\n",
-              agg.pocd.mean, agg.pocd.ci95);
-  std::printf("  mean cost       : %.1f +- %.1f per job\n", agg.cost.mean,
-              agg.cost.ci95);
-  std::printf("  mean machine    : %.1f +- %.1f s per job\n",
-              agg.machine_time.mean, agg.machine_time.ci95);
-  std::printf("  net utility     : %.4f (R_min = %.3f)\n", agg.utility.mean,
-              r_min);
-  std::printf("  mean optimal r  : %.2f\n", agg.mean_r.mean);
-  std::printf("  attempts        : %llu launched, %llu killed\n",
-              static_cast<unsigned long long>(agg.attempts_launched),
-              static_cast<unsigned long long>(agg.attempts_killed));
-  std::printf("  sim events      : %llu across %d replication(s)\n",
-              static_cast<unsigned long long>(agg.events_executed), reps);
+  std::printf("Open system: poisson arrivals at %.3f jobs/s for %.2f h "
+              "(warm-up %.2f h), %d containers\n",
+              rate, hours, 0.1 * hours, 64 * node.containers);
+  std::printf("Strategy: %s (theta = %g, seed = %llu)\n",
+              config.auto_strategy
+                  ? "auto (per-job optimize_all)"
+                  : strategies::to_string(config.policy).c_str(),
+              theta, static_cast<unsigned long long>(seed));
+
+  std::printf("\nConservation\n");
+  std::printf("  arrivals        : %llu (%llu in window)\n",
+              static_cast<unsigned long long>(result.arrivals),
+              static_cast<unsigned long long>(result.window_arrivals));
+  std::printf("  admitted        : %llu (%llu degraded to Hadoop-NS)\n",
+              static_cast<unsigned long long>(result.admitted),
+              static_cast<unsigned long long>(result.degraded));
+  std::printf("  rejected        : %llu\n",
+              static_cast<unsigned long long>(result.rejected));
+  std::printf("  completed       : %llu (+%llu in flight at end)\n",
+              static_cast<unsigned long long>(result.completed),
+              static_cast<unsigned long long>(result.in_flight_at_end));
+
+  std::printf("\nSteady state over the measurement window\n");
+  std::printf("  offered rate    : %.4f jobs/s (admitted %.4f)\n",
+              result.offered_rate, result.admitted_rate);
+  std::printf("  utilization     : %.4f\n", result.utilization);
+  std::printf("  jobs in system  : %.3f (Little: lambda*W = %.3f)\n",
+              result.mean_jobs_in_system,
+              result.admitted_rate * result.mean_sojourn);
+  std::printf("  queue depth     : %.3f pending container requests\n",
+              result.mean_queue_depth);
+  std::printf("  mean sojourn    : %.2f s\n", result.mean_sojourn);
+  std::printf("  deadline misses : %.4f (PoCD %.4f, baseline %.4f)\n",
+              result.miss_rate, 1.0 - result.miss_rate,
+              result.mean_baseline_pocd);
+  std::printf("  mean cost       : %.2f per job\n", result.mean_cost);
+
+  std::printf("\nStrategy mix of admitted jobs\n");
+  for (const auto kind :
+       {PolicyKind::kHadoopNS, PolicyKind::kHadoopS, PolicyKind::kMantri,
+        PolicyKind::kClone, PolicyKind::kSRestart, PolicyKind::kSResume}) {
+    if (result.mix[kind] > 0) {
+      std::printf("  %-12s: %llu\n", strategies::to_string(kind).c_str(),
+                  static_cast<unsigned long long>(result.mix[kind]));
+    }
+  }
+  std::printf("\n%llu simulator events to t = %.0f s\n",
+              static_cast<unsigned long long>(result.events_executed),
+              result.end_time);
   return 0;
 }

@@ -45,11 +45,10 @@ MetricSummary from_stats(const stats::RunningStats& stats) {
 }
 
 double run_mean_r(const trace::ExperimentResult& result) {
-  double sum = 0.0;
-  for (const auto& outcome : result.metrics.outcomes()) {
-    sum += static_cast<double>(outcome.r_used);
-  }
-  return sum / static_cast<double>(result.metrics.jobs());
+  // The running sum stays available when outcome-row retention is off
+  // (open-system runs) and matches summing outcomes() exactly.
+  return static_cast<double>(result.metrics.total_r_used()) /
+         static_cast<double>(result.metrics.jobs());
 }
 
 }  // namespace

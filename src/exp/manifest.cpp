@@ -10,9 +10,12 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "common/error.h"
 #include "common/numeric.h"
 #include "core/pocd.h"
+#include "sim/open_system.h"
 #include "trace/planner.h"
 #include "trace/spot_price.h"
 
@@ -484,6 +487,102 @@ Manifest parse_manifest(const std::string& text) {
   }
 
   {
+    IniSection* section = find_section(sections, "arrivals");
+    const SectionReader reader(section);
+    if (reader.present()) {
+      ManifestArrivals arrivals;
+      const IniEntry* kind = reader.find("kind");
+      const std::string kind_name =
+          kind == nullptr ? "poisson" : kind->value;
+      if (kind_name == "poisson") {
+        arrivals.spec.kind = trace::ArrivalKind::kPoisson;
+      } else if (kind_name == "diurnal") {
+        arrivals.spec.kind = trace::ArrivalKind::kDiurnal;
+      } else if (kind_name == "trace") {
+        arrivals.spec.kind = trace::ArrivalKind::kTrace;
+      } else {
+        fail(kind->line, "arrivals kind must be poisson, diurnal or trace, "
+                         "got '" + kind_name + "'");
+      }
+      if (arrivals.spec.kind == trace::ArrivalKind::kTrace) {
+        const IniEntry& file = reader.require("file");
+        arrivals.file = file.value;
+        arrivals.spec.times = trace::load_arrival_times(file.value);
+      } else {
+        const IniEntry& rate = reader.require("rate");
+        arrivals.rate = parse_binding(rate, manifest.spec);
+        if (!arrivals.rate.bound() &&
+            !(std::isfinite(arrivals.rate.fixed) &&
+              arrivals.rate.fixed > 0.0)) {
+          fail(rate.line, "arrival rate must be positive and finite");
+        }
+        arrivals.spec.rate = arrivals.rate.fixed;
+      }
+      arrivals.spec.amplitude =
+          reader.get_double("amplitude", arrivals.spec.amplitude);
+      arrivals.spec.period =
+          reader.get_double("period_hours", arrivals.spec.period / 3600.0) *
+          3600.0;
+      arrivals.duration_hours =
+          reader.get_double("duration_hours", arrivals.duration_hours);
+      arrivals.warm_up_hours =
+          reader.get_double("warm_up_hours", arrivals.warm_up_hours);
+      if (!(std::isfinite(arrivals.duration_hours) &&
+            arrivals.duration_hours > 0.0 &&
+            std::isfinite(arrivals.warm_up_hours) &&
+            arrivals.warm_up_hours >= 0.0 &&
+            arrivals.warm_up_hours < arrivals.duration_hours)) {
+        fail(section->line, "[arrivals] needs duration_hours > 0 and "
+                            "warm_up_hours in [0, duration_hours)");
+      }
+      arrivals.drain = reader.get_bool("drain", true);
+      const IniEntry* plan = reader.find("plan");
+      const std::string plan_name = plan == nullptr ? "policy" : plan->value;
+      if (plan_name == "auto") {
+        arrivals.auto_strategy = true;
+      } else if (plan_name != "policy") {
+        fail(plan->line,
+             "plan must be 'policy' or 'auto', got '" + plan_name + "'");
+      }
+      arrivals.admission_enabled = reader.get_bool("admission", true);
+      arrivals.degrade_headroom =
+          reader.get_double("degrade_headroom", arrivals.degrade_headroom);
+      arrivals.reject_queue_factor = reader.get_double(
+          "reject_queue_factor", arrivals.reject_queue_factor);
+      if (!(std::isfinite(arrivals.degrade_headroom) &&
+            arrivals.degrade_headroom > 0.0 &&
+            std::isfinite(arrivals.reject_queue_factor) &&
+            arrivals.reject_queue_factor > 0.0)) {
+        fail(section->line, "[arrivals] admission factors must be positive "
+                            "and finite");
+      }
+      arrivals.nodes = optional_binding(reader, "nodes", manifest.spec);
+      const long long containers = reader.get_int("containers", 8);
+      if (containers < 1 || containers > 1 << 20) {
+        fail(section->line, "containers must lie in [1, 2^20]");
+      }
+      arrivals.containers = static_cast<int>(containers);
+      // Validate the non-rate fields now so a bad manifest fails at parse
+      // time; a bound rate is validated per cell at run time.
+      {
+        trace::ArrivalSpec probe = arrivals.spec;
+        if (probe.kind != trace::ArrivalKind::kTrace &&
+            arrivals.rate.bound()) {
+          probe.rate = 1.0;  // placeholder for the per-cell axis value
+        }
+        probe.validate();
+      }
+      manifest.arrivals = std::move(arrivals);
+      if (manifest.report_utility &&
+          manifest.r_min_mode == RMinMode::kBaseline) {
+        fail(section->line,
+             "[arrivals] sweeps need a numeric r_min: the baseline r_min "
+             "is a property of a pre-generated closed-system trace");
+      }
+    }
+  }
+
+  {
     const SectionReader reader(find_section(sections, "output"));
     manifest.outputs.csv = reader.get_string("csv", "");
     manifest.outputs.json = reader.get_string("json", "");
@@ -589,6 +688,66 @@ std::string manifest_journal_salt(const Manifest& manifest) {
               : numeric::format_double(manifest.r_min_fixed);
   salt += ',';
   salt += numeric::format_double(manifest.r_min_offset);
+  if (manifest.arrivals.has_value()) {
+    const ManifestArrivals& a = *manifest.arrivals;
+    salt += ";arrivals=";
+    switch (a.spec.kind) {
+      case trace::ArrivalKind::kPoisson:
+        salt += "poisson";
+        break;
+      case trace::ArrivalKind::kDiurnal:
+        salt += "diurnal";
+        break;
+      case trace::ArrivalKind::kTrace:
+        salt += "trace";
+        break;
+    }
+    salt += ",rate=";
+    if (a.rate.bound()) {
+      salt += '@';
+      salt += a.rate.axis;
+    } else {
+      salt += numeric::format_double(a.rate.fixed);
+    }
+    for (const double v :
+         {a.spec.amplitude, a.spec.period, a.duration_hours,
+          a.warm_up_hours, a.degrade_headroom, a.reject_queue_factor}) {
+      salt += ',';
+      salt += numeric::format_double(v);
+    }
+    salt += a.drain ? ",drain" : ",no-drain";
+    salt += a.auto_strategy ? ",auto" : ",policy";
+    salt += a.admission_enabled ? ",admission" : ",no-admission";
+    salt += ",nodes=";
+    if (!a.nodes.has_value()) {
+      salt += "preset";
+    } else if (a.nodes->bound()) {
+      salt += '@';
+      salt += a.nodes->axis;
+    } else {
+      salt += numeric::format_double(a.nodes->fixed);
+    }
+    salt += ',';
+    salt += std::to_string(a.containers);
+    // Trace-driven arrivals: fingerprint the loaded times (FNV-1a over
+    // their canonical decimal forms), never the file path — editing the
+    // file must invalidate the journal even when the path is unchanged.
+    if (a.spec.kind == trace::ArrivalKind::kTrace) {
+      std::uint64_t hash = 1469598103934665603ull;
+      for (const double t : a.spec.times) {
+        for (const char c : numeric::format_double(t)) {
+          hash ^= static_cast<unsigned char>(c);
+          hash *= 1099511628211ull;
+        }
+        hash ^= static_cast<unsigned char>(';');
+        hash *= 1099511628211ull;
+      }
+      salt += ",times=";
+      salt += std::to_string(a.spec.times.size());
+      salt += ':';
+      salt += std::to_string(hash);
+    }
+  }
   return salt;
 }
 
@@ -597,6 +756,14 @@ SweepHooks make_hooks(const Manifest& manifest) {
   const auto m = std::make_shared<const Manifest>(manifest);
   SweepHooks hooks;
   hooks.setup = [m](const SweepPoint& point) {
+    if (m->arrivals.has_value()) {
+      // Open-system cells sample jobs on the fly — nothing to pre-plan.
+      SharedCell shared;
+      if (m->report_utility) {
+        shared.r_min = std::max(0.0, m->r_min_fixed + m->r_min_offset);
+      }
+      return shared;
+    }
     trace::TraceConfig config = m->trace;
     if (m->trace_beta.has_value()) {
       const double beta = m->trace_beta->resolve(point);
@@ -635,11 +802,66 @@ SweepHooks make_hooks(const Manifest& manifest) {
   hooks.run = [m](const SweepPoint& point, std::uint64_t seed,
                   const SharedCell& shared) {
     CellInstance instance;
-    instance.jobs = shared.jobs;
-    instance.config =
+    const trace::ExperimentConfig preset =
         m->cluster_testbed
             ? trace::ExperimentConfig::testbed(point.policy, seed)
             : trace::ExperimentConfig::large_scale(point.policy, seed);
+    if (m->arrivals.has_value()) {
+      const ManifestArrivals& a = *m->arrivals;
+      auto open = std::make_shared<sim::OpenSystemConfig>();
+      open->arrivals = a.spec;
+      if (a.spec.kind != trace::ArrivalKind::kTrace) {
+        open->arrivals.rate = a.rate.resolve(point);
+      }
+      open->workload = m->trace;
+      if (m->trace_beta.has_value()) {
+        const double beta = m->trace_beta->resolve(point);
+        open->workload.beta_lo = beta;
+        open->workload.beta_hi = beta;
+      }
+      if (m->trace_deadline_factor.has_value()) {
+        const double factor = m->trace_deadline_factor->resolve(point);
+        open->workload.deadline_factor_lo = factor;
+        open->workload.deadline_factor_hi = factor;
+      }
+      open->planner.theta = m->planner_theta.resolve(point);
+      if (m->planner_tau_est_factor.has_value()) {
+        open->planner.tau_est_factor =
+            m->planner_tau_est_factor->resolve(point);
+      }
+      if (m->planner_tau_kill_factor.has_value()) {
+        open->planner.tau_kill_factor =
+            m->planner_tau_kill_factor->resolve(point);
+      }
+      open->admission.enabled = a.admission_enabled;
+      open->admission.degrade_headroom = a.degrade_headroom;
+      open->admission.reject_queue_factor = a.reject_queue_factor;
+      if (a.nodes.has_value()) {
+        const double resolved = a.nodes->resolve(point);
+        const long long nodes = std::llround(resolved);
+        CHRONOS_EXPECTS(nodes >= 1 && nodes <= (1 << 20),
+                        "arrivals nodes must resolve to [1, 2^20]");
+        sim::NodeConfig node;
+        node.containers = a.containers;
+        open->cluster =
+            sim::ClusterConfig::uniform(static_cast<int>(nodes), node);
+        open->scheduler.noise = mapreduce::ProgressNoiseConfig::realistic();
+        open->scheduler.estimator = mapreduce::EstimatorKind::kChronos;
+      } else {
+        open->cluster = preset.cluster;
+        open->scheduler = preset.scheduler;
+      }
+      open->policy = point.policy;
+      open->auto_strategy = a.auto_strategy;
+      open->duration = a.duration_hours * 3600.0;
+      open->warm_up = a.warm_up_hours * 3600.0;
+      open->drain = a.drain;
+      open->seed = seed;
+      instance.open_system = std::move(open);
+    } else {
+      instance.jobs = shared.jobs;
+      instance.config = preset;
+    }
     if (m->report_utility) {
       instance.report_utility = true;
       instance.theta = m->planner_theta.resolve(point);

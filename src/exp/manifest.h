@@ -48,6 +48,7 @@
 #include <string>
 
 #include "exp/sweep.h"
+#include "trace/arrivals.h"
 #include "trace/google_trace.h"
 
 namespace chronos::exp {
@@ -75,6 +76,45 @@ struct ManifestOutputs {
   std::string json;     ///< empty = no JSON file
   std::string journal;  ///< empty = no checkpoint journal
   bool table = true;    ///< print the fixed-width table to stdout
+};
+
+/// Optional [arrivals] section: switches the sweep's cells from replaying
+/// the closed [trace] workload to running the open-system engine
+/// (sim/open_system.h). The [trace] section still supplies the per-job
+/// shape template; num_jobs/duration_hours/seed of [trace] are unused.
+///
+///   [arrivals]
+///   kind = poisson          # poisson | diurnal | trace
+///   rate = @lambda          # jobs/second; bindable (poisson/diurnal)
+///   amplitude = 0.5         # diurnal modulation depth, [0, 1)
+///   period_hours = 24       # diurnal period
+///   file = arrivals.txt     # kind = trace: one arrival time per line
+///   duration_hours = 1      # arrival horizon
+///   warm_up_hours = 0.1     # measurement starts here
+///   drain = on              # run to empty after the horizon
+///   plan = policy           # policy | auto (per-job optimize_all)
+///   admission = on          # capacity-aware admission control
+///   degrade_headroom = 1.0
+///   reject_queue_factor = 4.0
+///   nodes = @nodes          # bindable; uniform cluster of `containers`
+///   containers = 8          #   per node (defaults to the preset cluster)
+///
+/// With [arrivals], `r_min = baseline` is rejected: the baseline PoCD of a
+/// pre-generated trace is a closed-system property; utility sweeps must
+/// give a numeric r_min.
+struct ManifestArrivals {
+  trace::ArrivalSpec spec;  ///< rate overwritten per cell when bound
+  Binding rate{.fixed = 0.1, .axis = {}};
+  std::string file;  ///< kind = trace: source path (times pre-loaded)
+  double duration_hours = 1.0;
+  double warm_up_hours = 0.0;
+  bool drain = true;
+  bool auto_strategy = false;
+  bool admission_enabled = true;
+  double degrade_headroom = 1.0;
+  double reject_queue_factor = 4.0;
+  std::optional<Binding> nodes;  ///< unset = preset cluster
+  int containers = 8;
 };
 
 /// Optional [shard] section: defaults for process-level sharding, so a
@@ -108,6 +148,7 @@ struct Manifest {
 
   ManifestOutputs outputs;
   ManifestShard shard;
+  std::optional<ManifestArrivals> arrivals;  ///< open-system sweep when set
 };
 
 /// Parses manifest text. Throws PreconditionError with a line-numbered

@@ -12,6 +12,8 @@
 #include "exp/threadpool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/open_system.h"
+#include "strategies/policies.h"
 
 namespace chronos::exp {
 
@@ -121,9 +123,19 @@ void run_one_replication(const SweepHooks& hooks, const CellWork& work,
     span.note("cell", static_cast<double>(work.cell));
     const obs::ScopedTimer rep_timer(t_replication);
     CellInstance instance = hooks.run(work.point, seed, work.shared);
-    CHRONOS_EXPECTS(instance.jobs != nullptr,
-                    "cell runner must set CellInstance::jobs");
-    record.result = run_experiment(*instance.jobs, instance.config);
+    if (instance.open_system != nullptr) {
+      auto open = sim::run_open_system(*instance.open_system);
+      record.result.policy_name =
+          instance.open_system->auto_strategy
+              ? "Auto"
+              : strategies::to_string(instance.open_system->policy);
+      record.result.metrics = std::move(open.metrics);
+      record.result.events_executed = open.events_executed;
+    } else {
+      CHRONOS_EXPECTS(instance.jobs != nullptr,
+                      "cell runner must set CellInstance::jobs");
+      record.result = run_experiment(*instance.jobs, instance.config);
+    }
     record.has_utility = instance.report_utility;
     if (instance.report_utility) {
       record.utility =

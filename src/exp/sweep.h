@@ -33,6 +33,10 @@
 #include "strategies/policies.h"
 #include "trace/harness.h"
 
+namespace chronos::sim {
+struct OpenSystemConfig;
+}  // namespace chronos::sim
+
 namespace chronos::exp {
 
 /// One named parameter axis. `labels`, when non-empty, must parallel
@@ -115,6 +119,11 @@ struct CellInstance {
   bool report_utility = false;
   double theta = 0.0;
   double r_min = 0.0;
+
+  /// Open-system replication: when set, the engine runs run_open_system on
+  /// this config instead of replaying `jobs` (which may stay null). The
+  /// aggregated metrics come from the run's measured (post-warm-up) jobs.
+  std::shared_ptr<const sim::OpenSystemConfig> open_system;
 
   void set_jobs(std::vector<trace::TracedJob> built) {
     jobs = std::make_shared<const std::vector<trace::TracedJob>>(

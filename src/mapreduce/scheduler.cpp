@@ -20,6 +20,18 @@ Scheduler::Scheduler(sim::Simulator& simulator, sim::Cluster& cluster,
   if (config_.failures.rate > 0.0) {
     crash_sampler_.emplace(config_.failures.rate);
   }
+  metrics_.set_retain_outcomes(config_.retain_outcomes);
+}
+
+void Scheduler::compact_job(int job) {
+  auto& record = job_mut(job);
+  CHRONOS_EXPECTS(record.done, "compact_job requires a completed job");
+  record.attempts.clear();
+  record.attempts.shrink_to_fit();
+  for (auto& task : record.tasks) {
+    task.attempt_ids.clear();
+    task.attempt_ids.shrink_to_fit();
+  }
 }
 
 const JobRecord& Scheduler::job(int job) const {
@@ -116,6 +128,12 @@ int Scheduler::launch_attempt(int job, int task, double offset) {
 
 void Scheduler::on_container_granted(int job, int attempt_id, int node) {
   auto& record = job_mut(job);
+  if (attempt_id >= static_cast<int>(record.attempts.size())) {
+    // The attempt was killed while queued and the job has since been
+    // compacted away; only the cluster's grant callback survived.
+    cluster_.release_container(node);
+    return;
+  }
   auto& attempt = record.attempts[static_cast<std::size_t>(attempt_id)];
   if (attempt.state != AttemptState::kWaiting) {
     // Killed while queued (or the task finished): return the container.

@@ -85,6 +85,9 @@ struct SchedulerConfig {
   /// When false, resume offsets skip the Eq. 31 anticipation of bytes the
   /// original processes during the new attempts' JVM startup (ablation).
   bool anticipate_resume_offset = true;
+  /// When false, RunMetrics drops per-job outcome rows and keeps only the
+  /// running aggregates (open-system million-job runs).
+  bool retain_outcomes = true;
   FailureConfig failures;
 };
 
@@ -106,6 +109,14 @@ class Scheduler {
   /// Read access for tests and policies.
   const JobRecord& job(int job) const;
   int num_jobs() const { return static_cast<int>(jobs_.size()); }
+
+  /// Releases the per-attempt state of a completed job (attempts plus each
+  /// task's attempt-id lists), keeping the aggregate counters. Long-running
+  /// open-system drivers call this from on_job_completed so memory stays
+  /// proportional to in-flight work rather than total jobs submitted.
+  /// Requires the job to be done. Container grants still queued for killed
+  /// attempts of a compacted job are detected and returned on arrival.
+  void compact_job(int job);
 
  private:
   friend class SchedulerApi;

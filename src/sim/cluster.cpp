@@ -17,12 +17,18 @@ Cluster::Cluster(ClusterConfig config) {
   CHRONOS_EXPECTS(!config.nodes.empty(), "cluster needs at least one node");
   nodes_.reserve(config.nodes.size());
   for (const auto& node : config.nodes) {
-    CHRONOS_EXPECTS(node.speed > 0.0, "node speed must be positive");
+    // The comparisons alone reject NaN (every comparison with NaN is
+    // false), but an infinite speed or noise mean would sail through and
+    // produce zero-length or infinite attempt durations downstream — guard
+    // for finiteness explicitly.
+    CHRONOS_EXPECTS(std::isfinite(node.speed) && node.speed > 0.0,
+                    "node speed must be positive and finite");
     CHRONOS_EXPECTS(node.containers >= 1, "node needs >= 1 container");
-    CHRONOS_EXPECTS(node.noise_mean >= 0.0,
-                    "node noise mean must be non-negative");
-    CHRONOS_EXPECTS(node.noise_sigma >= 0.0,
-                    "node noise sigma must be non-negative");
+    CHRONOS_EXPECTS(std::isfinite(node.noise_mean) && node.noise_mean >= 0.0,
+                    "node noise mean must be non-negative and finite");
+    CHRONOS_EXPECTS(std::isfinite(node.noise_sigma) &&
+                        node.noise_sigma >= 0.0,
+                    "node noise sigma must be non-negative and finite");
     nodes_.push_back(NodeState{node, 0});
     total_containers_ += node.containers;
   }
@@ -47,10 +53,12 @@ void Cluster::request_container(Grant grant) {
   const int node = pick_node();
   if (node < 0) {
     waiting_.push_back(std::move(grant));
+    notify_occupancy();
     return;
   }
   ++nodes_[static_cast<std::size_t>(node)].busy;
   ++busy_;
+  notify_occupancy();
   grant(node);
 }
 
@@ -60,6 +68,7 @@ void Cluster::release_container(int node) {
   CHRONOS_EXPECTS(state.busy > 0, "release on a node with no busy container");
   --state.busy;
   --busy_;
+  notify_occupancy();
   if (!waiting_.empty()) {
     Grant grant = std::move(waiting_.front());
     waiting_.pop_front();

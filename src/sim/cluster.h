@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -35,7 +36,17 @@ class Cluster {
   /// Callback invoked with the granting node's index.
   using Grant = std::function<void(int node)>;
 
+  /// Observer invoked after every change to the busy-container count or the
+  /// waiting-request queue (open-system utilization/queue-length tracking).
+  /// Purely observational: it must not call back into the cluster's mutating
+  /// API and never touches the numeric path.
+  using OccupancyObserver = std::function<void(int busy, std::size_t waiting)>;
+
   explicit Cluster(ClusterConfig config);
+
+  void set_occupancy_observer(OccupancyObserver observer) {
+    observer_ = std::move(observer);
+  }
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   int total_containers() const { return total_containers_; }
@@ -69,8 +80,15 @@ class Cluster {
   /// Node with the most free containers (ties -> lowest index), or -1.
   int pick_node() const;
 
+  void notify_occupancy() const {
+    if (observer_) {
+      observer_(busy_, waiting_.size());
+    }
+  }
+
   std::vector<NodeState> nodes_;
   std::deque<Grant> waiting_;
+  OccupancyObserver observer_;
   int total_containers_ = 0;
   int busy_ = 0;
 };

@@ -7,9 +7,19 @@
 
 namespace chronos::sim {
 
+void RunMetrics::set_retain_outcomes(bool retain) {
+  CHRONOS_EXPECTS(jobs_ == 0,
+                  "set_retain_outcomes must precede the first record()");
+  retain_outcomes_ = retain;
+}
+
 void RunMetrics::record(const JobOutcome& outcome) {
-  outcomes_.push_back(outcome);
+  if (retain_outcomes_) {
+    outcomes_.push_back(outcome);
+  }
+  ++jobs_;
   met_ += outcome.met_deadline ? 1 : 0;
+  total_r_ += outcome.r_used;
   launched_ += static_cast<std::uint64_t>(outcome.attempts_launched);
   killed_ += static_cast<std::uint64_t>(outcome.attempts_killed);
   failed_ += static_cast<std::uint64_t>(outcome.attempts_failed);
@@ -18,13 +28,13 @@ void RunMetrics::record(const JobOutcome& outcome) {
 }
 
 double RunMetrics::pocd() const {
-  CHRONOS_EXPECTS(!outcomes_.empty(), "pocd requires at least one job");
-  return static_cast<double>(met_) / static_cast<double>(outcomes_.size());
+  CHRONOS_EXPECTS(jobs_ > 0, "pocd requires at least one job");
+  return static_cast<double>(met_) / static_cast<double>(jobs_);
 }
 
 double RunMetrics::pocd_ci() const {
-  CHRONOS_EXPECTS(!outcomes_.empty(), "pocd_ci requires at least one job");
-  return stats::proportion_ci_halfwidth(met_, outcomes_.size());
+  CHRONOS_EXPECTS(jobs_ > 0, "pocd_ci requires at least one job");
+  return stats::proportion_ci_halfwidth(met_, jobs_);
 }
 
 double RunMetrics::mean_cost() const { return cost_.mean(); }

@@ -35,7 +35,12 @@ class RunMetrics {
  public:
   void record(const JobOutcome& outcome);
 
-  std::uint64_t jobs() const { return outcomes_.size(); }
+  /// When off, record() keeps only the running aggregates and drops the
+  /// per-job outcome rows — O(1) memory for million-job open-system runs.
+  /// Must be flipped before the first record().
+  void set_retain_outcomes(bool retain);
+
+  std::uint64_t jobs() const { return jobs_; }
   const std::vector<JobOutcome>& outcomes() const { return outcomes_; }
 
   /// Fraction of jobs that met their deadline; requires >= 1 job.
@@ -59,9 +64,15 @@ class RunMetrics {
   std::uint64_t attempts_killed() const { return killed_; }
   std::uint64_t attempts_failed() const { return failed_; }
 
+  /// Sum of r_used over all jobs (available with outcome retention off).
+  long long total_r_used() const { return total_r_; }
+
  private:
   std::vector<JobOutcome> outcomes_;
+  bool retain_outcomes_ = true;
+  std::uint64_t jobs_ = 0;
   std::uint64_t met_ = 0;
+  long long total_r_ = 0;
   std::uint64_t launched_ = 0;
   std::uint64_t killed_ = 0;
   std::uint64_t failed_ = 0;

@@ -1,0 +1,443 @@
+#include "sim/open_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/log.h"
+#include "core/chronos.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace chronos::sim {
+
+namespace {
+
+const obs::Counter c_runs = obs::counter("open.runs");
+const obs::Counter c_arrivals = obs::counter("open.arrivals");
+const obs::Counter c_admitted = obs::counter("open.admitted");
+const obs::Counter c_degraded = obs::counter("open.degraded");
+const obs::Counter c_rejected = obs::counter("open.rejected");
+const obs::Counter c_completed = obs::counter("open.completed");
+const obs::Counter c_misses = obs::counter("open.deadline_misses");
+const obs::Gauge g_in_flight = obs::gauge("open.in_flight");
+const obs::Timer t_run = obs::timer("open.run");
+const obs::Timer t_plan = obs::timer("open.plan");
+
+// Indexed by strategies::PolicyKind.
+const std::array<obs::Counter, 6> kPlanCounters = {
+    obs::counter("open.plan.hadoop_ns"), obs::counter("open.plan.hadoop_s"),
+    obs::counter("open.plan.mantri"),    obs::counter("open.plan.clone"),
+    obs::counter("open.plan.s_restart"), obs::counter("open.plan.s_resume")};
+
+/// Clamped time-weighted integral of a piecewise-constant signal over
+/// [start, end]: update(t, v) closes the previous level at t and opens v;
+/// mean() closes the signal at `end` and returns area / (end - start).
+/// Updates outside the window contribute nothing.
+class WindowedArea {
+ public:
+  WindowedArea(double start, double end)
+      : start_(start), end_(end), last_(start) {}
+
+  void update(double now, double value) {
+    integrate_to(now);
+    value_ = value;
+  }
+
+  double mean() {
+    integrate_to(end_);
+    return area_ / (end_ - start_);
+  }
+
+ private:
+  void integrate_to(double now) {
+    const double t = std::clamp(now, start_, end_);
+    if (t > last_) {
+      area_ += value_ * (t - last_);
+      last_ = t;
+    }
+  }
+
+  double start_;
+  double end_;
+  double last_;
+  double value_ = 0.0;
+  double area_ = 0.0;
+};
+
+/// Per-job policy multiplexer: the open system schedules different jobs
+/// under different strategies within ONE scheduler, so this policy owns one
+/// lazily-created backend per PolicyKind and routes every hook to the
+/// backend staged for that job at submission. Scheduler::submit runs
+/// synchronously, so stage() immediately before submit() is race-free.
+class MuxPolicy final : public mapreduce::SpeculationPolicy {
+ public:
+  explicit MuxPolicy(strategies::PolicyOptions options) : options_(options) {}
+
+  void set_on_complete(std::function<void(int job)> fn) {
+    on_complete_ = std::move(fn);
+  }
+
+  void stage(strategies::PolicyKind kind) { staged_ = &backend(kind); }
+
+  std::string name() const override { return "Open-Mux"; }
+
+  int initial_attempts(const mapreduce::JobSpec& spec) const override {
+    return staged_->initial_attempts(spec);
+  }
+
+  void on_job_start(int job, mapreduce::SchedulerApi& api) override {
+    if (static_cast<std::size_t>(job) >= per_job_.size()) {
+      per_job_.resize(static_cast<std::size_t>(job) + 1, nullptr);
+    }
+    per_job_[static_cast<std::size_t>(job)] = staged_;
+    staged_->on_job_start(job, api);
+  }
+
+  void on_task_completed(int job, int task,
+                         mapreduce::SchedulerApi& api) override {
+    per_job_[static_cast<std::size_t>(job)]->on_task_completed(job, task, api);
+  }
+
+  void on_reduce_stage_start(int job, mapreduce::SchedulerApi& api) override {
+    per_job_[static_cast<std::size_t>(job)]->on_reduce_stage_start(job, api);
+  }
+
+  void on_job_completed(int job, mapreduce::SchedulerApi& api) override {
+    per_job_[static_cast<std::size_t>(job)]->on_job_completed(job, api);
+    if (on_complete_) {
+      on_complete_(job);
+    }
+  }
+
+ private:
+  mapreduce::SpeculationPolicy& backend(strategies::PolicyKind kind) {
+    auto& slot = backends_[static_cast<std::size_t>(kind)];
+    if (!slot) {
+      slot = strategies::make_policy(kind, options_);
+    }
+    return *slot;
+  }
+
+  strategies::PolicyOptions options_;
+  std::array<std::unique_ptr<mapreduce::SpeculationPolicy>, 6> backends_;
+  mapreduce::SpeculationPolicy* staged_ = nullptr;
+  std::vector<mapreduce::SpeculationPolicy*> per_job_;
+  std::function<void(int job)> on_complete_;
+};
+
+strategies::PolicyKind policy_kind_of(core::Strategy strategy) {
+  switch (strategy) {
+    case core::Strategy::kClone:
+      return strategies::PolicyKind::kClone;
+    case core::Strategy::kSpeculativeRestart:
+      return strategies::PolicyKind::kSRestart;
+    case core::Strategy::kSpeculativeResume:
+      return strategies::PolicyKind::kSResume;
+  }
+  CHRONOS_EXPECTS(false, "unknown analytic strategy");
+}
+
+mapreduce::SchedulerConfig open_scheduler_config(
+    const OpenSystemConfig& config) {
+  // The engine keeps its own warm-up-aware aggregates; the scheduler's
+  // metrics only need the running counters.
+  auto scheduler = config.scheduler;
+  scheduler.retain_outcomes = false;
+  return scheduler;
+}
+
+class OpenEngine {
+ public:
+  explicit OpenEngine(const OpenSystemConfig& config)
+      : config_(config),
+        master_(config.seed),
+        arrival_rng_(master_.split()),
+        shape_rng_(master_.split()),
+        cluster_(config.cluster),
+        mux_(config.policy_options),
+        scheduler_(simulator_, cluster_, mux_, open_scheduler_config(config),
+                   Rng(master_.split_seed())),
+        prices_(config.prices),
+        arrivals_(trace::make_arrival_process(config.arrivals)),
+        busy_area_(config.warm_up, config.duration),
+        queue_area_(config.warm_up, config.duration),
+        jobs_area_(config.warm_up, config.duration) {
+    measured_.set_retain_outcomes(false);
+    mux_.set_on_complete([this](int job) { on_complete(job); });
+    cluster_.set_occupancy_observer([this](int busy, std::size_t waiting) {
+      const double now = simulator_.now();
+      busy_area_.update(now, static_cast<double>(busy));
+      queue_area_.update(now, static_cast<double>(waiting));
+    });
+  }
+
+  OpenSystemResult run() {
+    obs::TraceSpan span("open.run", "sim");
+    const obs::ScopedTimer run_timer(t_run);
+    c_runs.add();
+    const double first = arrivals_->next_after(0.0, arrival_rng_);
+    if (std::isfinite(first) && first <= config_.duration) {
+      simulator_.at(first, [this, first] { on_arrival(first); });
+    }
+    if (config_.drain) {
+      simulator_.run();
+    } else {
+      simulator_.run_until(config_.duration);
+    }
+    return finalize(span);
+  }
+
+ private:
+  enum class Decision { kAdmit, kDegrade, kReject };
+
+  void on_arrival(double t) {
+    ++result_.arrivals;
+    c_arrivals.add();
+    // Arrivals are only ever scheduled up to the horizon, so in-window
+    // means "past warm-up".
+    const bool measured = t >= config_.warm_up;
+    if (measured) {
+      ++result_.window_arrivals;
+    }
+
+    mapreduce::JobSpec spec =
+        trace::sample_job_spec(config_.workload, next_job_id_++, shape_rng_);
+    strategies::PolicyKind kind = config_.policy;
+    {
+      const obs::ScopedTimer plan_timer(t_plan);
+      if (config_.auto_strategy) {
+        kind = plan_auto(spec, t);
+      } else {
+        trace::TracedJob traced;
+        traced.submit_time = t;
+        traced.spec = spec;
+        trace::plan_job(traced, kind, config_.planner, prices_);
+        spec = traced.spec;
+      }
+    }
+    if (measured) {
+      baseline_pocd_.add(analytic_baseline_pocd(spec));
+    }
+
+    switch (admit_decision(spec)) {
+      case Decision::kReject:
+        ++result_.rejected;
+        c_rejected.add();
+        break;
+      case Decision::kDegrade:
+        kind = strategies::PolicyKind::kHadoopNS;
+        spec.r = 0;
+        spec.reduce_r = 0;
+        ++result_.degraded;
+        c_degraded.add();
+        [[fallthrough]];
+      case Decision::kAdmit:
+        admit(spec, kind, t, measured);
+        break;
+    }
+
+    const double next = arrivals_->next_after(t, arrival_rng_);
+    if (std::isfinite(next) && next <= config_.duration) {
+      simulator_.at(next, [this, next] { on_arrival(next); });
+    }
+  }
+
+  void admit(const mapreduce::JobSpec& spec, strategies::PolicyKind kind,
+             double t, bool measured) {
+    ++result_.admitted;
+    c_admitted.add();
+    if (measured) {
+      ++result_.window_admitted;
+    }
+    result_.mix[kind] += 1;
+    kPlanCounters[static_cast<std::size_t>(kind)].add();
+
+    mux_.stage(kind);
+    const int job = scheduler_.submit(spec);
+    // Struct-of-arrays per-job state, indexed by the scheduler's job index
+    // (submit returns sequential indices, so these stay parallel).
+    job_strategy_.push_back(static_cast<std::uint8_t>(kind));
+    job_measured_.push_back(measured ? 1 : 0);
+    job_arrival_.push_back(t);
+    CHRONOS_ENSURES(job_arrival_.size() == static_cast<std::size_t>(job) + 1,
+                    "per-job arrays out of sync with scheduler indices");
+    ++in_flight_;
+    jobs_area_.update(simulator_.now(), static_cast<double>(in_flight_));
+    g_in_flight.update(static_cast<std::uint64_t>(in_flight_));
+  }
+
+  void on_complete(int job) {
+    ++result_.completed;
+    c_completed.add();
+    --in_flight_;
+    jobs_area_.update(simulator_.now(), static_cast<double>(in_flight_));
+
+    const auto& record = scheduler_.job(job);
+    if (job_measured_[static_cast<std::size_t>(job)] != 0) {
+      JobOutcome outcome;
+      outcome.job_id = record.spec.job_id;
+      outcome.met_deadline = record.completion_time <= record.spec.deadline;
+      outcome.completion_time = record.completion_time;
+      outcome.deadline = record.spec.deadline;
+      outcome.machine_time = record.machine_time;
+      outcome.cost = record.machine_time * record.spec.price;
+      outcome.r_used = record.spec.r;
+      outcome.attempts_launched = record.attempts_launched;
+      outcome.attempts_killed = record.attempts_killed;
+      outcome.attempts_failed = record.attempts_failed;
+      measured_.record(outcome);
+      sojourn_.add(record.completion_time);
+      if (!outcome.met_deadline) {
+        c_misses.add();
+      }
+    }
+    scheduler_.compact_job(job);
+  }
+
+  strategies::PolicyKind plan_auto(mapreduce::JobSpec& spec, double t) {
+    spec.price = prices_.price_at(t);
+    const auto params = trace::to_job_params(
+        spec, config_.planner, core::Strategy::kSpeculativeResume);
+    const auto econ = trace::to_economics(spec, config_.planner, spec.price);
+    const auto best =
+        core::optimize_all(params, econ, config_.planner.optimizer);
+    spec.tau_est =
+        best.strategy == core::Strategy::kClone ? 0.0 : params.tau_est;
+    spec.tau_kill = params.tau_kill;
+    spec.r = best.result.feasible ? best.result.r_opt : 1;
+    return policy_kind_of(best.strategy);
+  }
+
+  Decision admit_decision(const mapreduce::JobSpec& spec) const {
+    if (!config_.admission.enabled) {
+      return Decision::kAdmit;
+    }
+    const double backlog = static_cast<double>(cluster_.pending_requests());
+    const double total = static_cast<double>(cluster_.total_containers());
+    if (backlog + static_cast<double>(spec.total_tasks()) >
+        config_.admission.reject_queue_factor * total) {
+      return Decision::kReject;
+    }
+    const double headroom =
+        std::max(0.0, static_cast<double>(cluster_.idle_containers()) - backlog);
+    const double demand =
+        static_cast<double>(spec.r) * static_cast<double>(spec.num_tasks);
+    if (demand > config_.admission.degrade_headroom * headroom) {
+      return Decision::kDegrade;
+    }
+    return Decision::kAdmit;
+  }
+
+  double analytic_baseline_pocd(const mapreduce::JobSpec& spec) const {
+    core::JobParams params;
+    params.num_tasks = spec.num_tasks;
+    params.deadline = spec.deadline;
+    params.t_min = spec.t_min;
+    params.beta = spec.beta;
+    params.tau_est = 0.0;
+    params.tau_kill = 0.0;
+    params.phi_est = 0.0;
+    return core::pocd_no_speculation(params);
+  }
+
+  OpenSystemResult finalize(obs::TraceSpan& span) {
+    result_.window = config_.duration - config_.warm_up;
+    result_.in_flight_at_end = static_cast<std::uint64_t>(in_flight_);
+    result_.offered_rate =
+        static_cast<double>(result_.window_arrivals) / result_.window;
+    result_.admitted_rate =
+        static_cast<double>(result_.window_admitted) / result_.window;
+    result_.utilization =
+        busy_area_.mean() / static_cast<double>(cluster_.total_containers());
+    result_.mean_jobs_in_system = jobs_area_.mean();
+    result_.mean_queue_depth = queue_area_.mean();
+    if (sojourn_.count() > 0) {
+      result_.mean_sojourn = sojourn_.mean();
+    }
+    if (measured_.jobs() > 0) {
+      result_.miss_rate = 1.0 - measured_.pocd();
+      result_.mean_cost = measured_.mean_cost();
+    }
+    if (baseline_pocd_.count() > 0) {
+      result_.mean_baseline_pocd = baseline_pocd_.mean();
+    }
+    result_.metrics = measured_;
+    result_.events_executed = simulator_.events_executed();
+    // Without drain the clock hard-stops at the horizon even when the last
+    // executed event lies before it; with drain the queue runs dry and the
+    // last completion may lie past the horizon.
+    result_.end_time = std::max(simulator_.now(), config_.duration);
+
+    CHRONOS_ENSURES(result_.arrivals == result_.admitted + result_.rejected,
+                    "arrival conservation violated");
+    CHRONOS_ENSURES(
+        result_.admitted == result_.completed + result_.in_flight_at_end,
+        "admitted-job conservation violated");
+
+    span.note("arrivals", static_cast<double>(result_.arrivals));
+    span.note("events", static_cast<double>(result_.events_executed));
+    CHRONOS_LOG(kDebug) << "open system: " << result_.arrivals
+                        << " arrivals, " << result_.completed
+                        << " completed, " << result_.events_executed
+                        << " events";
+    return result_;
+  }
+
+  const OpenSystemConfig& config_;
+  Rng master_;
+  Rng arrival_rng_;
+  Rng shape_rng_;
+  Simulator simulator_;
+  Cluster cluster_;
+  MuxPolicy mux_;
+  mapreduce::Scheduler scheduler_;
+  trace::SpotPriceModel prices_;
+  std::unique_ptr<trace::ArrivalProcess> arrivals_;
+  WindowedArea busy_area_;
+  WindowedArea queue_area_;
+  WindowedArea jobs_area_;
+
+  OpenSystemResult result_;
+  RunMetrics measured_;
+  stats::RunningStats sojourn_;
+  stats::RunningStats baseline_pocd_;
+  std::vector<std::uint8_t> job_strategy_;
+  std::vector<std::uint8_t> job_measured_;
+  std::vector<double> job_arrival_;
+  std::int64_t in_flight_ = 0;
+  int next_job_id_ = 0;
+};
+
+}  // namespace
+
+void AdmissionConfig::validate() const {
+  CHRONOS_EXPECTS(std::isfinite(degrade_headroom) && degrade_headroom > 0.0,
+                  "degrade_headroom must be positive and finite");
+  CHRONOS_EXPECTS(
+      std::isfinite(reject_queue_factor) && reject_queue_factor > 0.0,
+      "reject_queue_factor must be positive and finite");
+}
+
+void OpenSystemConfig::validate() const {
+  arrivals.validate();
+  workload.validate();
+  admission.validate();
+  CHRONOS_EXPECTS(std::isfinite(duration) && duration > 0.0,
+                  "open-system duration must be positive and finite");
+  CHRONOS_EXPECTS(std::isfinite(warm_up) && warm_up >= 0.0 &&
+                      warm_up < duration,
+                  "warm_up must lie in [0, duration)");
+}
+
+OpenSystemResult run_open_system(const OpenSystemConfig& config) {
+  config.validate();
+  OpenEngine engine(config);
+  return engine.run();
+}
+
+}  // namespace chronos::sim

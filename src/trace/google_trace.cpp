@@ -27,6 +27,34 @@ void TraceConfig::validate() const {
                   "invalid JVM model");
 }
 
+mapreduce::JobSpec sample_job_spec(const TraceConfig& config, int job_id,
+                                   Rng& rng) {
+  mapreduce::JobSpec spec;
+  spec.job_id = job_id;
+
+  // Lognormal task count with the requested mean:
+  // E[exp(mu + sigma Z)] = exp(mu + sigma^2/2) = mean_tasks.
+  const double sigma = config.tasks_log_sigma;
+  const double mu = std::log(config.mean_tasks) - 0.5 * sigma * sigma;
+  const auto tasks =
+      static_cast<int>(std::llround(std::exp(mu + sigma * rng.normal())));
+  spec.num_tasks = std::clamp(tasks, config.min_tasks, config.max_tasks);
+
+  // Per-job duration model: log-uniform scale, uniform tail index.
+  spec.t_min = std::exp(
+      rng.uniform(std::log(config.t_min_lo), std::log(config.t_min_hi)));
+  spec.beta = rng.uniform(config.beta_lo, config.beta_hi);
+
+  const double mean_exec = spec.t_min * spec.beta / (spec.beta - 1.0);
+  const double factor =
+      rng.uniform(config.deadline_factor_lo, config.deadline_factor_hi);
+  spec.deadline = factor * mean_exec;
+
+  spec.jvm_mean = config.jvm_mean;
+  spec.jvm_jitter = config.jvm_jitter;
+  return spec;
+}
+
 std::vector<TracedJob> generate_trace(const TraceConfig& config) {
   config.validate();
   Rng rng(config.seed);
@@ -37,30 +65,7 @@ std::vector<TracedJob> generate_trace(const TraceConfig& config) {
   for (int i = 0; i < config.num_jobs; ++i) {
     TracedJob job;
     job.submit_time = rng.uniform(0.0, horizon);
-
-    auto& spec = job.spec;
-    spec.job_id = i;
-
-    // Lognormal task count with the requested mean:
-    // E[exp(mu + sigma Z)] = exp(mu + sigma^2/2) = mean_tasks.
-    const double sigma = config.tasks_log_sigma;
-    const double mu = std::log(config.mean_tasks) - 0.5 * sigma * sigma;
-    const auto tasks =
-        static_cast<int>(std::llround(std::exp(mu + sigma * rng.normal())));
-    spec.num_tasks = std::clamp(tasks, config.min_tasks, config.max_tasks);
-
-    // Per-job duration model: log-uniform scale, uniform tail index.
-    spec.t_min = std::exp(
-        rng.uniform(std::log(config.t_min_lo), std::log(config.t_min_hi)));
-    spec.beta = rng.uniform(config.beta_lo, config.beta_hi);
-
-    const double mean_exec = spec.t_min * spec.beta / (spec.beta - 1.0);
-    const double factor =
-        rng.uniform(config.deadline_factor_lo, config.deadline_factor_hi);
-    spec.deadline = factor * mean_exec;
-
-    spec.jvm_mean = config.jvm_mean;
-    spec.jvm_jitter = config.jvm_jitter;
+    job.spec = sample_job_spec(config, i, rng);
     jobs.push_back(job);
   }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/rng.h"
 #include "mapreduce/job.h"
 
 namespace chronos::trace {
@@ -56,6 +57,14 @@ struct TraceConfig {
 /// sequential. Strategy fields (r, tau_est, tau_kill, price) are left at
 /// defaults for the planner to fill.
 std::vector<TracedJob> generate_trace(const TraceConfig& config);
+
+/// Samples one job's shape (task count, t_min, beta, deadline, JVM model)
+/// from the trace template, drawing from the caller's rng — the per-job
+/// kernel of generate_trace, exposed so the open-system engine can sample
+/// shapes per arrival from the same statistical model. `config` must be
+/// validated by the caller; num_jobs/duration_hours/seed are not consumed.
+mapreduce::JobSpec sample_job_spec(const TraceConfig& config, int job_id,
+                                   Rng& rng);
 
 /// Total task count of a trace.
 std::int64_t total_tasks(const std::vector<TracedJob>& jobs);

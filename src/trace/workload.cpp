@@ -1,10 +1,23 @@
 #include "trace/workload.h"
 
+#include <cmath>
+
 #include "common/error.h"
 
 namespace chronos::trace {
 
 mapreduce::JobSpec WorkloadProfile::make_job(int job_id, int num_tasks) const {
+  CHRONOS_EXPECTS(num_tasks >= 1, "make_job needs num_tasks >= 1");
+  CHRONOS_EXPECTS(std::isfinite(t_min) && t_min > 0.0,
+                  "profile t_min must be positive and finite");
+  CHRONOS_EXPECTS(std::isfinite(beta) && beta > 1.0,
+                  "profile beta must exceed 1 (finite mean execution time)");
+  CHRONOS_EXPECTS(std::isfinite(deadline) && deadline > 0.0,
+                  "profile deadline must be positive and finite");
+  CHRONOS_EXPECTS(std::isfinite(jvm_mean) && jvm_mean >= 0.0 &&
+                      std::isfinite(jvm_jitter) && jvm_jitter >= 0.0 &&
+                      jvm_jitter <= jvm_mean + 1e-12,
+                  "profile JVM model invalid (need 0 <= jitter <= mean)");
   mapreduce::JobSpec spec;
   spec.job_id = job_id;
   spec.num_tasks = num_tasks;

@@ -259,6 +259,91 @@ TEST(ManifestFuzz, MutatedManifestsParseOrThrowPreconditionError) {
   EXPECT_GT(rejected, 0);
 }
 
+// Open-system manifest: the [arrivals] section plus the keys it interacts
+// with (numeric r_min, nodes/containers overrides, warm-up window). Poisson
+// kind keeps the corpus free of file I/O.
+constexpr const char* kArrivalsManifest = R"([sweep]
+name = fuzz_open
+policies = hadoop-ns, s-resume
+replications = 2
+seed = 19
+
+[axis.lambda]
+values = 0.05, 0.2
+
+[trace]
+mean_tasks = 4
+max_tasks = 16
+t_min_lo = 4
+t_min_hi = 12
+
+[planner]
+theta = 1e-4
+
+[experiment]
+utility = on
+r_min = 0.1
+
+[arrivals]
+kind = poisson
+rate = @lambda
+duration_hours = 0.25
+warm_up_hours = 0.05
+drain = on
+plan = policy
+admission = on
+degrade_headroom = 1.0
+reject_queue_factor = 4.0
+nodes = 4
+containers = 4
+
+[output]
+journal = open.journal
+csv = open.csv
+)";
+
+TEST(ManifestFuzz, MutatedArrivalsManifestsParseOrThrowPreconditionError) {
+  Rng rng(20260808);
+  int parsed = 0;
+  int rejected = 0;
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    std::string text = kArrivalsManifest;
+    const int rounds = static_cast<int>(rng.uniform_int(1, 4));
+    for (int r = 0; r < rounds; ++r) {
+      text = rng.bernoulli(0.5) ? mutate(text, rng)
+                                : mutate_lines(text, rng);
+    }
+    try {
+      const Manifest manifest = parse_manifest(text);
+      EXPECT_GE(manifest.spec.num_cells(), 1u);
+      // [arrivals] validation is parse-time: a surviving manifest with the
+      // section still present must carry a coherent, validated spec.
+      if (manifest.arrivals.has_value()) {
+        EXPECT_GT(manifest.arrivals->duration_hours, 0.0);
+        EXPECT_GE(manifest.arrivals->warm_up_hours, 0.0);
+        EXPECT_LT(manifest.arrivals->warm_up_hours,
+                  manifest.arrivals->duration_hours);
+      }
+      ++parsed;
+    } catch (const PreconditionError&) {
+      ++rejected;  // the only acceptable failure mode
+    }
+  }
+  EXPECT_GT(parsed, 0);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ManifestFuzz, TruncatedArrivalsManifestsNeverCrash) {
+  const std::string base = kArrivalsManifest;
+  for (std::size_t cut = 0; cut <= base.size(); ++cut) {
+    try {
+      parse_manifest(base.substr(0, cut));
+    } catch (const PreconditionError&) {
+      // fine: truncation removed something required
+    }
+  }
+}
+
 TEST(ManifestFuzz, TruncatedManifestsNeverCrash) {
   const std::string base = kBaseManifest;
   for (std::size_t cut = 0; cut <= base.size(); ++cut) {

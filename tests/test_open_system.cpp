@@ -1,0 +1,482 @@
+// Open-system simulation layer (sim/open_system.h, trace/arrivals.h).
+//
+// The interesting properties here are statistical laws rather than exact
+// values: an under-loaded Poisson-fed cluster must satisfy utilization =
+// lambda * E[S] / c and Little's law L = lambda * W, the deadline-miss rate
+// must be monotone in the offered rate, and the conservation counters must
+// balance exactly. On top of the laws: arrival-process unit tests,
+// determinism (same seed => identical results; sweeprun outputs identical
+// across thread counts and across a kill/resume of the journal, pinned to
+// committed goldens), and the PR's validation-hardening regressions.
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "sim/cluster.h"
+#include "sim/metrics.h"
+#include "sim/open_system.h"
+#include "trace/arrivals.h"
+#include "trace/workload.h"
+
+namespace chronos {
+namespace {
+
+using sim::OpenSystemConfig;
+using sim::OpenSystemResult;
+using trace::ArrivalKind;
+using trace::ArrivalSpec;
+
+// --- shared configuration ---------------------------------------------------
+
+// Deterministic job shape: every job has exactly `tasks` tasks with
+// Pareto(t_min = 4, beta = 2.5) durations (finite variance, mean
+// t_min * beta / (beta - 1) = 20/3 s) and no JVM startup, so the expected
+// service demand per job is exact and the queueing laws can be checked
+// against closed forms.
+constexpr double kTaskMean = 4.0 * 2.5 / 1.5;
+
+OpenSystemConfig base_config(double rate, int nodes, int containers) {
+  OpenSystemConfig config;
+  config.arrivals.kind = ArrivalKind::kPoisson;
+  config.arrivals.rate = rate;
+  config.workload.mean_tasks = 8.0;
+  config.workload.min_tasks = 8;
+  config.workload.max_tasks = 8;
+  config.workload.t_min_lo = 4.0;
+  config.workload.t_min_hi = 4.0;
+  config.workload.beta_lo = 2.5;
+  config.workload.beta_hi = 2.5;
+  config.workload.jvm_mean = 0.0;
+  config.workload.jvm_jitter = 0.0;
+  config.policy = strategies::PolicyKind::kHadoopNS;
+  config.planner.r_min_from_baseline = false;
+  config.admission.enabled = false;
+  config.cluster = sim::ClusterConfig::uniform(
+      nodes, sim::NodeConfig{.speed = 1.0, .containers = containers});
+  config.duration = 4000.0;
+  config.warm_up = 400.0;
+  config.seed = 7;
+  return config;
+}
+
+// --- statistical invariants -------------------------------------------------
+
+TEST(OpenSystemLaws, UtilizationMatchesOfferedLoad) {
+  // lambda = 0.5 jobs/s, E[S] = 8 tasks * 20/3 s = 53.33 container-seconds
+  // per job, c = 256 containers => rho = lambda * E[S] / c ~ 0.104. Far from
+  // saturation, so no offered work is lost and the time-weighted busy
+  // fraction must match the offered load.
+  const auto result = sim::run_open_system(base_config(0.5, 32, 8));
+  const double expected = 0.5 * 8.0 * kTaskMean / 256.0;
+  EXPECT_GT(result.metrics.jobs(), 1000u);
+  EXPECT_NEAR(result.utilization, expected, 0.08 * expected);
+}
+
+TEST(OpenSystemLaws, LittlesLaw) {
+  // L = lambda_admitted * W over the same measurement window. Moderate load
+  // keeps sojourns short relative to the window so edge effects stay small.
+  const auto result = sim::run_open_system(base_config(0.5, 32, 8));
+  const double l = result.mean_jobs_in_system;
+  const double lambda_w = result.admitted_rate * result.mean_sojourn;
+  EXPECT_GT(l, 0.0);
+  EXPECT_NEAR(l, lambda_w, 0.15 * lambda_w);
+}
+
+TEST(OpenSystemLaws, MissRateMonotoneInArrivalRate) {
+  // Same seed, same 16-container cluster, increasing offered rate: queueing
+  // delay grows with rho, so the deadline-miss rate must not decrease
+  // (small slack for sampling noise between independent runs).
+  double previous = -1.0;
+  for (const double rate : {0.02, 0.1, 0.4}) {
+    auto config = base_config(rate, 4, 4);
+    const auto result = sim::run_open_system(config);
+    EXPECT_GT(result.metrics.jobs(), 10u) << "rate " << rate;
+    EXPECT_GE(result.miss_rate, previous - 0.02) << "rate " << rate;
+    previous = result.miss_rate;
+  }
+}
+
+TEST(OpenSystemLaws, ConservationWithDrain) {
+  auto config = base_config(0.4, 4, 4);
+  config.admission.enabled = true;
+  const auto result = sim::run_open_system(config);
+  EXPECT_EQ(result.arrivals, result.admitted + result.rejected);
+  EXPECT_EQ(result.admitted, result.completed + result.in_flight_at_end);
+  // drain = true runs the event loop dry: nothing may remain in flight.
+  EXPECT_EQ(result.in_flight_at_end, 0u);
+  EXPECT_GE(result.end_time, config.duration);
+}
+
+TEST(OpenSystemLaws, ConservationWithHardStop) {
+  // Overloaded and hard-stopped: jobs must be cut off mid-flight and still
+  // balance exactly.
+  auto config = base_config(1.0, 2, 4);
+  config.drain = false;
+  const auto result = sim::run_open_system(config);
+  EXPECT_EQ(result.arrivals, result.admitted + result.rejected);
+  EXPECT_EQ(result.admitted, result.completed + result.in_flight_at_end);
+  EXPECT_GT(result.in_flight_at_end, 0u);
+  EXPECT_DOUBLE_EQ(result.end_time, config.duration);
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(OpenSystemAdmission, OverloadTriggersRejectAndDegrade) {
+  // 8 containers fed at ~10x capacity under a speculative policy: the
+  // backlog cap must reject and the headroom rule must degrade.
+  auto config = base_config(0.8, 2, 4);
+  config.policy = strategies::PolicyKind::kSResume;
+  config.admission.enabled = true;
+  const auto result = sim::run_open_system(config);
+  EXPECT_GT(result.rejected, 0u);
+  EXPECT_GT(result.degraded, 0u);
+  // Degraded jobs run under forced Hadoop-NS; the mix must account for them.
+  EXPECT_EQ(result.mix[strategies::PolicyKind::kHadoopNS], result.degraded);
+  EXPECT_EQ(result.mix[strategies::PolicyKind::kSResume] + result.degraded,
+            result.admitted);
+}
+
+TEST(OpenSystemAdmission, DisabledAdmitsEverything) {
+  auto config = base_config(0.8, 2, 4);
+  config.policy = strategies::PolicyKind::kSResume;
+  config.admission.enabled = false;
+  const auto result = sim::run_open_system(config);
+  EXPECT_EQ(result.rejected, 0u);
+  EXPECT_EQ(result.degraded, 0u);
+  EXPECT_EQ(result.admitted, result.arrivals);
+}
+
+TEST(OpenSystemAdmission, ControllerDoesNotPerturbArrivalStream) {
+  // The admission decision must not consume randomness: the same seed sees
+  // the same arrival count whether or not the controller is on.
+  auto on = base_config(0.8, 2, 4);
+  on.admission.enabled = true;
+  auto off = on;
+  off.admission.enabled = false;
+  EXPECT_EQ(sim::run_open_system(on).arrivals,
+            sim::run_open_system(off).arrivals);
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(OpenSystemDeterminism, SameSeedSameResult) {
+  auto config = base_config(0.3, 4, 4);
+  config.policy = strategies::PolicyKind::kSResume;
+  config.admission.enabled = true;
+  const auto a = sim::run_open_system(config);
+  const auto b = sim::run_open_system(config);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.metrics.jobs(), b.metrics.jobs());
+  EXPECT_EQ(a.metrics.total_r_used(), b.metrics.total_r_used());
+  // Bit-identical floating-point aggregates, not just statistically close.
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.mean_jobs_in_system, b.mean_jobs_in_system);
+  EXPECT_EQ(a.mean_sojourn, b.mean_sojourn);
+  EXPECT_EQ(a.mean_cost, b.mean_cost);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(OpenSystemDeterminism, DifferentSeedDifferentStream) {
+  auto config = base_config(0.3, 4, 4);
+  const auto a = sim::run_open_system(config);
+  config.seed = 8;
+  const auto b = sim::run_open_system(config);
+  EXPECT_NE(a.end_time, b.end_time);
+}
+
+// --- auto strategy selection ------------------------------------------------
+
+TEST(OpenSystemAuto, PlansOnlyChronosStrategies) {
+  auto config = base_config(0.2, 4, 4);
+  config.auto_strategy = true;
+  const auto result = sim::run_open_system(config);
+  EXPECT_GT(result.admitted, 0u);
+  // optimize_all picks among Clone / S-Restart / S-Resume; baselines can
+  // only appear through admission degradation.
+  using strategies::PolicyKind;
+  EXPECT_EQ(result.mix[PolicyKind::kHadoopS], 0u);
+  EXPECT_EQ(result.mix[PolicyKind::kMantri], 0u);
+  EXPECT_EQ(result.mix[PolicyKind::kHadoopNS], result.degraded);
+  const std::uint64_t chronos = result.mix[PolicyKind::kClone] +
+                                result.mix[PolicyKind::kSRestart] +
+                                result.mix[PolicyKind::kSResume];
+  EXPECT_EQ(chronos + result.degraded, result.admitted);
+}
+
+// --- arrival processes ------------------------------------------------------
+
+std::vector<double> drain_arrivals(const ArrivalSpec& spec, double horizon,
+                                   std::uint64_t seed) {
+  auto process = trace::make_arrival_process(spec);
+  Rng rng(seed);
+  std::vector<double> times;
+  double now = 0.0;
+  while (true) {
+    now = process->next_after(now, rng);
+    if (!std::isfinite(now) || now > horizon) {
+      break;
+    }
+    times.push_back(now);
+  }
+  return times;
+}
+
+TEST(Arrivals, PoissonCountWithinFourSigma) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kPoisson;
+  spec.rate = 2.0;
+  const auto times = drain_arrivals(spec, 5000.0, 3);
+  // N ~ Poisson(10000): mean 10000, sigma 100.
+  EXPECT_GT(times.size(), 9600u);
+  EXPECT_LT(times.size(), 10400u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    ASSERT_LT(times[i - 1], times[i]);
+  }
+}
+
+TEST(Arrivals, DiurnalCountAveragesToBaseRate) {
+  // Over a whole number of periods the sinusoidal modulation integrates to
+  // zero, so the expected count equals rate * horizon.
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate = 1.0;
+  spec.amplitude = 0.8;
+  spec.period = 1000.0;
+  const auto times = drain_arrivals(spec, 10000.0, 5);
+  EXPECT_GT(times.size(), 9600u);
+  EXPECT_LT(times.size(), 10400u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    ASSERT_LT(times[i - 1], times[i]);
+  }
+}
+
+TEST(Arrivals, DiurnalPeakAndTroughDensity) {
+  // Thinning must actually modulate the rate: count the first quarter-period
+  // (rising peak) against the third (trough).
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.rate = 1.0;
+  spec.amplitude = 0.9;
+  spec.period = 4000.0;
+  const auto times = drain_arrivals(spec, 4000.0, 11);
+  std::size_t peak = 0;
+  std::size_t trough = 0;
+  for (const double t : times) {
+    if (t < 1000.0) ++peak;
+    if (t >= 2000.0 && t < 3000.0) ++trough;
+  }
+  EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(Arrivals, TraceReplaysExactTimesIncludingDuplicates) {
+  ArrivalSpec spec;
+  spec.kind = ArrivalKind::kTrace;
+  spec.times = {0.0, 0.0, 1.5, 1.5, 1.5, 7.0};
+  auto process = trace::make_arrival_process(spec);
+  Rng rng(1);
+  // Duplicate timestamps (batch submissions) fire once per call, starting
+  // with an arrival at exactly t = 0.
+  double now = 0.0;
+  std::vector<double> seen;
+  for (int i = 0; i < 6; ++i) {
+    now = process->next_after(now, rng);
+    seen.push_back(now);
+  }
+  EXPECT_EQ(seen, spec.times);
+  EXPECT_EQ(process->next_after(now, rng),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(Arrivals, ParseTimesAcceptsCommentsAndBlanks) {
+  const auto times = trace::parse_arrival_times(
+      "# header\n\n 0.5 \n;another comment\n2\n2\n10.25\n");
+  EXPECT_EQ(times, (std::vector<double>{0.5, 2.0, 2.0, 10.25}));
+}
+
+TEST(Arrivals, ParseTimesRejectsMalformedInput) {
+  EXPECT_THROW(trace::parse_arrival_times("1\nbogus\n"), PreconditionError);
+  EXPECT_THROW(trace::parse_arrival_times("-1\n"), PreconditionError);
+  EXPECT_THROW(trace::parse_arrival_times("5\n4\n"), PreconditionError);
+  EXPECT_THROW(trace::parse_arrival_times("inf\n"), PreconditionError);
+}
+
+TEST(Arrivals, SpecValidation) {
+  ArrivalSpec spec;
+  spec.rate = 0.0;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.rate = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.rate = 1.0;
+  spec.kind = ArrivalKind::kDiurnal;
+  spec.amplitude = 1.0;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.amplitude = -0.1;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.amplitude = 0.5;
+  spec.period = 0.0;
+  EXPECT_THROW(spec.validate(), PreconditionError);
+  spec.period = 86400.0;
+  spec.validate();
+  spec.kind = ArrivalKind::kTrace;
+  spec.times = {1.0, 0.5};
+  EXPECT_THROW(spec.validate(), PreconditionError);
+}
+
+// --- config validation ------------------------------------------------------
+
+TEST(OpenSystemConfigValidation, RejectsBadWindows) {
+  auto config = base_config(0.1, 2, 4);
+  config.warm_up = config.duration;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config.warm_up = 0.0;
+  config.duration = 0.0;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config.duration = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+TEST(OpenSystemConfigValidation, RejectsBadAdmissionKnobs) {
+  auto config = base_config(0.1, 2, 4);
+  config.admission.degrade_headroom = 0.0;
+  EXPECT_THROW(config.validate(), PreconditionError);
+  config.admission.degrade_headroom = 1.0;
+  config.admission.reject_queue_factor = -1.0;
+  EXPECT_THROW(config.validate(), PreconditionError);
+}
+
+// --- validation-hardening regressions (bugfix satellite) --------------------
+
+TEST(ValidationHardening, WorkloadProfileRejectsDegenerateParameters) {
+  trace::WorkloadProfile profile = trace::benchmark("Sort");
+  profile.t_min = 0.0;
+  EXPECT_THROW(profile.make_job(0, 4), PreconditionError);
+  profile = trace::benchmark("Sort");
+  profile.beta = 1.0;
+  EXPECT_THROW(profile.make_job(0, 4), PreconditionError);
+  profile = trace::benchmark("Sort");
+  profile.t_min = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(profile.make_job(0, 4), PreconditionError);
+  profile = trace::benchmark("Sort");
+  profile.deadline = -1.0;
+  EXPECT_THROW(profile.make_job(0, 4), PreconditionError);
+  profile = trace::benchmark("Sort");
+  EXPECT_NO_THROW(profile.make_job(0, 4));
+}
+
+TEST(ValidationHardening, ClusterRejectsNonFiniteNodeParameters) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  auto make = [](const sim::NodeConfig& node) {
+    sim::Cluster cluster(sim::ClusterConfig::uniform(1, node));
+  };
+  EXPECT_THROW(make({.speed = 0.0}), PreconditionError);
+  EXPECT_THROW(make({.speed = -1.0}), PreconditionError);
+  EXPECT_THROW(make({.speed = inf}), PreconditionError);
+  EXPECT_THROW(make({.speed = nan}), PreconditionError);
+  EXPECT_THROW(make({.containers = 0}), PreconditionError);
+  EXPECT_THROW(make({.noise_mean = inf}), PreconditionError);
+  EXPECT_THROW(make({.noise_mean = -0.5}), PreconditionError);
+  EXPECT_THROW(make({.noise_sigma = nan}), PreconditionError);
+  EXPECT_NO_THROW(make({.speed = 2.0, .noise_mean = 0.3, .noise_sigma = 0.2}));
+}
+
+TEST(ValidationHardening, RunMetricsRetentionToggle) {
+  sim::RunMetrics metrics;
+  metrics.set_retain_outcomes(false);
+  sim::JobOutcome outcome;
+  outcome.met_deadline = true;
+  outcome.r_used = 2;
+  metrics.record(outcome);
+  outcome.met_deadline = false;
+  outcome.r_used = 1;
+  metrics.record(outcome);
+  EXPECT_TRUE(metrics.outcomes().empty());
+  EXPECT_EQ(metrics.jobs(), 2u);
+  EXPECT_EQ(metrics.total_r_used(), 3);
+  EXPECT_DOUBLE_EQ(metrics.pocd(), 0.5);
+  // The toggle is a construction-time decision.
+  EXPECT_THROW(metrics.set_retain_outcomes(true), PreconditionError);
+}
+
+// --- sweeprun goldens: thread-count and kill/resume determinism -------------
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "chronos_open_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+int run_command(const std::string& command) {
+  std::FILE* pipe = popen((command + " >/dev/null 2>&1").c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) {
+    return -1;
+  }
+  const int raw = pclose(pipe);
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+const std::string kSweeprun = CHRONOS_SWEEPRUN_BIN;
+const std::string kManifest =
+    std::string(CHRONOS_MANIFEST_DIR) + "/open_system.ini";
+const std::string kGoldenDir = std::string(CHRONOS_TEST_DIR) + "/golden";
+
+TEST(OpenSystemGolden, ReportsMatchAcrossThreadCounts) {
+  const std::string golden_csv = slurp(kGoldenDir + "/open_system.csv");
+  const std::string golden_json = slurp(kGoldenDir + "/open_system.json");
+  for (const char* threads : {"1", "4"}) {
+    const std::string tag = std::string("t") + threads;
+    const std::string csv = temp_path(tag + ".csv");
+    const std::string json = temp_path(tag + ".json");
+    ASSERT_EQ(run_command(kSweeprun + " " + kManifest + " --fresh --no-table" +
+                          " --threads " + threads + " --journal " +
+                          temp_path(tag + ".journal") + " --csv " + csv +
+                          " --json " + json),
+              0);
+    EXPECT_EQ(slurp(csv), golden_csv) << "threads " << threads;
+    EXPECT_EQ(slurp(json), golden_json) << "threads " << threads;
+  }
+}
+
+TEST(OpenSystemGolden, ResumeFromPartialJournalIsByteIdentical) {
+  // Emulate a kill half-way: a 1-of-2 shard run leaves a journal with two of
+  // the four cells done; resuming the full sweep from it must reproduce the
+  // goldens byte-for-byte.
+  const std::string dir = temp_path("resume.d");
+  ASSERT_EQ(run_command("mkdir -p " + dir), 0);
+  ASSERT_EQ(run_command("cd " + dir + " && " + kSweeprun + " " + kManifest +
+                        " --fresh --no-table --threads 2 --shard 1/2"),
+            0);
+  const std::string journal = temp_path("resume.journal");
+  const std::string csv = temp_path("resume.csv");
+  const std::string json = temp_path("resume.json");
+  ASSERT_EQ(run_command("cp " + dir + "/open_system.shard-1-of-2.journal " +
+                        journal),
+            0);
+  ASSERT_EQ(run_command(kSweeprun + " " + kManifest +
+                        " --no-table --threads 2 --journal " + journal +
+                        " --csv " + csv + " --json " + json),
+            0);
+  EXPECT_EQ(slurp(csv), slurp(kGoldenDir + "/open_system.csv"));
+  EXPECT_EQ(slurp(json), slurp(kGoldenDir + "/open_system.json"));
+}
+
+}  // namespace
+}  // namespace chronos
