@@ -544,6 +544,29 @@ Manifest parse_manifest(const std::string& text) {
         fail(plan->line,
              "plan must be 'policy' or 'auto', got '" + plan_name + "'");
       }
+      const IniEntry* plan_cache = reader.find("plan_cache");
+      if (plan_cache != nullptr) {
+        const std::string& value = plan_cache->value;
+        if (value == "off") {
+          arrivals.plan_cache.mode = serve::CacheMode::kOff;
+        } else if (value == "exact") {
+          arrivals.plan_cache.mode = serve::CacheMode::kExact;
+        } else if (value.rfind("quantized:", 0) == 0) {
+          arrivals.plan_cache.mode = serve::CacheMode::kQuantized;
+          double grid = 0.0;
+          if (!numeric::parse_double(value.substr(10), grid) ||
+              !std::isfinite(grid) || grid <= 0.0) {
+            fail(plan_cache->line,
+                 "plan_cache quantization grid must be a positive number, "
+                 "got '" + value.substr(10) + "'");
+          }
+          arrivals.plan_cache.grid = grid;
+        } else {
+          fail(plan_cache->line,
+               "plan_cache must be off, exact or quantized:<grid>, got '" +
+                   value + "'");
+        }
+      }
       arrivals.admission_enabled = reader.get_bool("admission", true);
       arrivals.degrade_headroom =
           reader.get_double("degrade_headroom", arrivals.degrade_headroom);
@@ -729,6 +752,17 @@ std::string manifest_journal_salt(const Manifest& manifest) {
     }
     salt += ',';
     salt += std::to_string(a.containers);
+    // The plan cache enters the fingerprint only when it is on: off is the
+    // historical behavior, so pre-existing journals stay valid.
+    if (a.plan_cache.mode != serve::CacheMode::kOff) {
+      salt += ",plan_cache=";
+      if (a.plan_cache.mode == serve::CacheMode::kExact) {
+        salt += "exact";
+      } else {
+        salt += "quantized:";
+        salt += numeric::format_double(a.plan_cache.grid);
+      }
+    }
     // Trace-driven arrivals: fingerprint the loaded times (FNV-1a over
     // their canonical decimal forms), never the file path — editing the
     // file must invalidate the journal even when the path is unchanged.
@@ -833,6 +867,7 @@ SweepHooks make_hooks(const Manifest& manifest) {
         open->planner.tau_kill_factor =
             m->planner_tau_kill_factor->resolve(point);
       }
+      open->plan_cache = a.plan_cache;
       open->admission.enabled = a.admission_enabled;
       open->admission.degrade_headroom = a.degrade_headroom;
       open->admission.reject_queue_factor = a.reject_queue_factor;

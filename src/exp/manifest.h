@@ -48,6 +48,7 @@
 #include <string>
 
 #include "exp/sweep.h"
+#include "serve/plan_cache.h"
 #include "trace/arrivals.h"
 #include "trace/google_trace.h"
 
@@ -93,6 +94,10 @@ struct ManifestOutputs {
 ///   warm_up_hours = 0.1     # measurement starts here
 ///   drain = on              # run to empty after the horizon
 ///   plan = policy           # policy | auto (per-job optimize_all)
+///   plan_cache = off        # off | exact | quantized:<grid>; exact serves
+///                           #   bit-identical plans for repeated inputs,
+///                           #   quantized shares plans within geometric
+///                           #   (1+grid)-ratio buckets (serve/plan_cache.h)
 ///   admission = on          # capacity-aware admission control
 ///   degrade_headroom = 1.0
 ///   reject_queue_factor = 4.0
@@ -110,6 +115,7 @@ struct ManifestArrivals {
   double warm_up_hours = 0.0;
   bool drain = true;
   bool auto_strategy = false;
+  serve::PlanCacheConfig plan_cache;  ///< default: mode off
   bool admission_enabled = true;
   double degrade_headroom = 1.0;
   double reject_queue_factor = 4.0;

@@ -1,0 +1,304 @@
+#include "serve/planner.h"
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace chronos::serve {
+
+namespace {
+
+const obs::Counter c_requests = obs::counter("serve.requests");
+const obs::Counter c_hits = obs::counter("serve.hits");
+const obs::Counter c_misses = obs::counter("serve.misses");
+const obs::Counter c_inserts = obs::counter("serve.inserts");
+const obs::Counter c_drops = obs::counter("serve.drops");
+const obs::Counter c_batches = obs::counter("serve.batches");
+const obs::Gauge g_size = obs::gauge("serve.size");
+const obs::Timer t_plan = obs::timer("serve.plan");
+
+struct PlanKeyHasher {
+  std::size_t operator()(const PlanKey& key) const {
+    return static_cast<std::size_t>(hash_key(key));
+  }
+};
+
+/// Bit pattern of the analytic params a request plans against; requests
+/// with equal patterns share one SharedAnalytics in plan_batch.
+using ParamsKey = std::array<std::int64_t, 7>;
+
+struct ParamsKeyHasher {
+  std::size_t operator()(const ParamsKey& key) const {
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const std::int64_t word : key) {
+      for (int byte = 0; byte < 8; ++byte) {
+        hash ^= (static_cast<std::uint64_t>(word) >> (8 * byte)) & 0xffu;
+        hash *= 1099511628211ull;
+      }
+    }
+    return static_cast<std::size_t>(hash);
+  }
+};
+
+ParamsKey params_key(const core::JobParams& params) {
+  return {params.num_tasks,
+          std::bit_cast<std::int64_t>(params.deadline),
+          std::bit_cast<std::int64_t>(params.t_min),
+          std::bit_cast<std::int64_t>(params.beta),
+          std::bit_cast<std::int64_t>(params.tau_est),
+          std::bit_cast<std::int64_t>(params.tau_kill),
+          std::bit_cast<std::int64_t>(params.phi_est)};
+}
+
+/// The params a request's optimizer run evaluates against (auto mode plans
+/// S-Resume-style params, exactly as the open-system auto path always has).
+core::JobParams request_params(const PlanRequest& request,
+                               const trace::PlannerConfig& planner) {
+  const core::Strategy strategy =
+      request.auto_strategy ? core::Strategy::kSpeculativeResume
+                            : trace::analytic_strategy(request.policy);
+  return trace::to_job_params(*request.spec, planner, strategy);
+}
+
+}  // namespace
+
+PlannerService::PlannerService(PlannerServiceConfig config)
+    : config_(config),
+      cache_(config.cache.mode == CacheMode::kOff ? 1
+                                                  : config.cache.capacity) {
+  config_.cache.validate();
+}
+
+PlannerServiceStats PlannerService::stats() const {
+  PlannerServiceStats stats;
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.inserts = inserts_.load(std::memory_order_relaxed);
+  stats.drops = drops_.load(std::memory_order_relaxed);
+  stats.cache_size = cache_.size();
+  return stats;
+}
+
+PlanKey PlannerService::make_key(const PlanRequest& request) const {
+  const auto& spec = *request.spec;
+  PlanKey key;
+  key.mode = request.auto_strategy
+                 ? kAutoMode
+                 : static_cast<std::uint64_t>(request.policy);
+  key.num_tasks = spec.num_tasks;
+  const double theta = effective_theta(request);
+  if (config_.cache.mode == CacheMode::kQuantized) {
+    const double grid = config_.cache.grid;
+    key.t_min = quantize_bucket(spec.t_min, grid);
+    key.beta = quantize_bucket(spec.beta, grid);
+    key.deadline = quantize_bucket(spec.deadline, grid);
+    key.price = quantize_bucket(request.price, grid);
+    key.theta = quantize_bucket(theta, grid);
+  } else {
+    key.t_min = std::bit_cast<std::int64_t>(spec.t_min);
+    key.beta = std::bit_cast<std::int64_t>(spec.beta);
+    key.deadline = std::bit_cast<std::int64_t>(spec.deadline);
+    key.price = std::bit_cast<std::int64_t>(request.price);
+    key.theta = std::bit_cast<std::int64_t>(theta);
+  }
+  return key;
+}
+
+CachedPlan PlannerService::compute(const PlanRequest& request,
+                                   const core::SharedAnalytics* shared) const {
+  const auto& spec = *request.spec;
+  trace::PlannerConfig planner = config_.planner;
+  planner.theta = effective_theta(request);
+  if (request.auto_strategy) {
+    const auto econ = trace::to_economics(spec, planner, request.price);
+    core::BestStrategy best;
+    if (shared != nullptr) {
+      best = core::optimize_all(*shared, econ, planner.optimizer);
+    } else {
+      const auto params = trace::to_job_params(
+          spec, planner, core::Strategy::kSpeculativeResume);
+      best = core::optimize_all(params, econ, planner.optimizer);
+    }
+    return {trace::policy_of(best.strategy),
+            best.result.feasible ? best.result.r_opt : 1,
+            best.result.feasible};
+  }
+  if (!trace::has_analytic_strategy(request.policy)) {
+    return {request.policy, 0, false};
+  }
+  const core::Strategy strategy = trace::analytic_strategy(request.policy);
+  const auto econ = trace::to_economics(spec, planner, request.price);
+  core::OptimizationResult result;
+  if (shared != nullptr) {
+    const core::AnalyticContext context(strategy, *shared, econ);
+    result = core::optimize(context, planner.optimizer);
+  } else {
+    const auto params = trace::to_job_params(spec, planner, strategy);
+    result = core::optimize(strategy, params, econ, planner.optimizer);
+  }
+  return {request.policy, result.feasible ? result.r_opt : 1,
+          result.feasible};
+}
+
+void PlannerService::apply(const PlanRequest& request,
+                           const CachedPlan& plan) const {
+  auto& spec = *request.spec;
+  spec.price = request.price;
+  const double tau_est = config_.planner.tau_est_factor * spec.t_min;
+  spec.tau_kill = config_.planner.tau_kill_factor * spec.t_min;
+  if (!request.auto_strategy &&
+      !trace::has_analytic_strategy(request.policy)) {
+    spec.tau_est = tau_est;
+    spec.r = 0;
+    return;
+  }
+  spec.tau_est = plan.kind == strategies::PolicyKind::kClone ? 0.0 : tau_est;
+  spec.r = plan.r;
+}
+
+void PlannerService::publish(const PlanKey& key, const CachedPlan& plan) {
+  if (cache_.insert(key, plan)) {
+    c_inserts.add();
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    g_size.update(cache_.size());
+  } else {
+    c_drops.add();
+    drops_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PlanReply PlannerService::plan(const PlanRequest& request) {
+  CHRONOS_EXPECTS(request.spec != nullptr, "plan request needs a spec");
+  const obs::ScopedTimer timer(t_plan);
+  c_requests.add();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.cache.mode == CacheMode::kOff) {
+    const CachedPlan plan = compute(request, nullptr);
+    apply(request, plan);
+    return {plan.kind, plan.r, plan.feasible, false};
+  }
+  const PlanKey key = make_key(request);
+  if (const CachedPlan* cached = cache_.find(key)) {
+    c_hits.add();
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    apply(request, *cached);
+    return {cached->kind, cached->r, cached->feasible, true};
+  }
+  c_misses.add();
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const CachedPlan plan = compute(request, nullptr);
+  publish(key, plan);
+  apply(request, plan);
+  return {plan.kind, plan.r, plan.feasible, false};
+}
+
+std::vector<PlanReply> PlannerService::plan_batch(
+    std::vector<PlanRequest>& requests) {
+  const obs::ScopedTimer timer(t_plan);
+  c_batches.add();
+  const std::size_t n = requests.size();
+  std::vector<PlanReply> replies(n);
+  if (n == 0) {
+    return replies;
+  }
+  c_requests.add(n);
+  requests_.fetch_add(n, std::memory_order_relaxed);
+  const bool cached = config_.cache.mode != CacheMode::kOff;
+
+  // Deduplicate by cache key: each distinct key is resolved once (cache
+  // hit or one optimizer run) and broadcast to every request that shares
+  // it — exactly what sequential plan() calls would do, since the first
+  // caller's insert turns the rest into hits.
+  struct Slot {
+    PlanKey key;
+    CachedPlan plan;
+    bool resolved = false;
+    bool from_cache = false;
+    std::size_t rep = 0;  ///< first request index filed under this key
+  };
+  std::vector<Slot> slots;
+  slots.reserve(n);
+  std::unordered_map<PlanKey, std::size_t, PlanKeyHasher> index(n);
+  std::vector<std::size_t> slot_of(n);
+  std::vector<char> is_first(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    CHRONOS_EXPECTS(requests[i].spec != nullptr, "plan request needs a spec");
+    const PlanKey key = make_key(requests[i]);
+    const auto [it, fresh] = index.try_emplace(key, slots.size());
+    if (fresh) {
+      Slot slot;
+      slot.key = key;
+      slot.rep = i;
+      if (cached) {
+        if (const CachedPlan* hit = cache_.find(key)) {
+          slot.plan = *hit;
+          slot.resolved = true;
+          slot.from_cache = true;
+        }
+      }
+      slots.push_back(slot);
+      is_first[i] = 1;
+    }
+    slot_of[i] = it->second;
+  }
+
+  // Group the unresolved slots by the bit pattern of the params their
+  // optimizer run evaluates: one SharedAnalytics per job shape, shared
+  // across every price/theta the batch carries for it.
+  std::unordered_map<ParamsKey, std::vector<std::size_t>, ParamsKeyHasher>
+      groups;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s].resolved) {
+      continue;
+    }
+    const PlanRequest& request = requests[slots[s].rep];
+    if (!request.auto_strategy &&
+        !trace::has_analytic_strategy(request.policy)) {
+      slots[s].plan = CachedPlan{request.policy, 0, false};
+      slots[s].resolved = true;
+      if (cached) {
+        publish(slots[s].key, slots[s].plan);
+      }
+      continue;
+    }
+    groups[params_key(request_params(request, config_.planner))]
+        .push_back(s);
+  }
+  for (const auto& [shape, members] : groups) {
+    const core::SharedAnalytics shared(
+        request_params(requests[slots[members.front()].rep],
+                       config_.planner));
+    for (const std::size_t s : members) {
+      slots[s].plan = compute(requests[slots[s].rep], &shared);
+      slots[s].resolved = true;
+      if (cached) {
+        publish(slots[s].key, slots[s].plan);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot& slot = slots[slot_of[i]];
+    apply(requests[i], slot.plan);
+    const bool hit = cached && (slot.from_cache || is_first[i] == 0);
+    replies[i] =
+        PlanReply{slot.plan.kind, slot.plan.r, slot.plan.feasible, hit};
+    if (cached) {
+      if (hit) {
+        c_hits.add();
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        c_misses.add();
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return replies;
+}
+
+}  // namespace chronos::serve

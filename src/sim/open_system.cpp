@@ -11,6 +11,7 @@
 #include "core/chronos.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/planner.h"
 #include "sim/simulator.h"
 
 namespace chronos::sim {
@@ -130,18 +131,6 @@ class MuxPolicy final : public mapreduce::SpeculationPolicy {
   std::function<void(int job)> on_complete_;
 };
 
-strategies::PolicyKind policy_kind_of(core::Strategy strategy) {
-  switch (strategy) {
-    case core::Strategy::kClone:
-      return strategies::PolicyKind::kClone;
-    case core::Strategy::kSpeculativeRestart:
-      return strategies::PolicyKind::kSRestart;
-    case core::Strategy::kSpeculativeResume:
-      return strategies::PolicyKind::kSResume;
-  }
-  CHRONOS_EXPECTS(false, "unknown analytic strategy");
-}
-
 mapreduce::SchedulerConfig open_scheduler_config(
     const OpenSystemConfig& config) {
   // The engine keeps its own warm-up-aware aggregates; the scheduler's
@@ -163,6 +152,8 @@ class OpenEngine {
         scheduler_(simulator_, cluster_, mux_, open_scheduler_config(config),
                    Rng(master_.split_seed())),
         prices_(config.prices),
+        planner_(serve::PlannerServiceConfig{config.planner,
+                                             config.plan_cache}),
         arrivals_(trace::make_arrival_process(config.arrivals)),
         busy_area_(config.warm_up, config.duration),
         queue_area_(config.warm_up, config.duration),
@@ -210,16 +201,17 @@ class OpenEngine {
     strategies::PolicyKind kind = config_.policy;
     {
       const obs::ScopedTimer plan_timer(t_plan);
-      if (config_.auto_strategy) {
-        kind = plan_auto(spec, t);
-      } else {
-        trace::TracedJob traced;
-        traced.submit_time = t;
-        traced.spec = spec;
-        trace::plan_job(traced, kind, config_.planner, prices_);
-        spec = traced.spec;
-      }
+      serve::PlanRequest request;
+      request.spec = &spec;
+      request.price = prices_.price_at(t);
+      request.auto_strategy = config_.auto_strategy;
+      request.policy = kind;
+      kind = planner_.plan(request).kind;
     }
+    // The pricing clock is the arrival time — never the trace-generation
+    // time a sampled spec may carry, and never a later admission instant.
+    CHRONOS_ENSURES(spec.price == prices_.price_at(t),
+                    "arrival priced off its arrival-time spot price");
     if (measured) {
       baseline_pocd_.add(analytic_baseline_pocd(spec));
     }
@@ -299,36 +291,18 @@ class OpenEngine {
     scheduler_.compact_job(job);
   }
 
-  strategies::PolicyKind plan_auto(mapreduce::JobSpec& spec, double t) {
-    spec.price = prices_.price_at(t);
-    const auto params = trace::to_job_params(
-        spec, config_.planner, core::Strategy::kSpeculativeResume);
-    const auto econ = trace::to_economics(spec, config_.planner, spec.price);
-    const auto best =
-        core::optimize_all(params, econ, config_.planner.optimizer);
-    spec.tau_est =
-        best.strategy == core::Strategy::kClone ? 0.0 : params.tau_est;
-    spec.tau_kill = params.tau_kill;
-    spec.r = best.result.feasible ? best.result.r_opt : 1;
-    return policy_kind_of(best.strategy);
-  }
-
   Decision admit_decision(const mapreduce::JobSpec& spec) const {
-    if (!config_.admission.enabled) {
-      return Decision::kAdmit;
-    }
-    const double backlog = static_cast<double>(cluster_.pending_requests());
-    const double total = static_cast<double>(cluster_.total_containers());
-    if (backlog + static_cast<double>(spec.total_tasks()) >
-        config_.admission.reject_queue_factor * total) {
-      return Decision::kReject;
-    }
-    const double headroom =
-        std::max(0.0, static_cast<double>(cluster_.idle_containers()) - backlog);
-    const double demand =
-        static_cast<double>(spec.r) * static_cast<double>(spec.num_tasks);
-    if (demand > config_.admission.degrade_headroom * headroom) {
-      return Decision::kDegrade;
+    switch (admission_decide(
+        config_.admission, spec,
+        static_cast<double>(cluster_.pending_requests()),
+        static_cast<double>(cluster_.idle_containers()),
+        static_cast<double>(cluster_.total_containers()))) {
+      case AdmissionDecision::kReject:
+        return Decision::kReject;
+      case AdmissionDecision::kDegrade:
+        return Decision::kDegrade;
+      case AdmissionDecision::kAdmit:
+        break;
     }
     return Decision::kAdmit;
   }
@@ -367,6 +341,9 @@ class OpenEngine {
       result_.mean_baseline_pocd = baseline_pocd_.mean();
     }
     result_.metrics = measured_;
+    const serve::PlannerServiceStats planner_stats = planner_.stats();
+    result_.plan_cache_hits = planner_stats.hits;
+    result_.plan_cache_misses = planner_stats.misses;
     result_.events_executed = simulator_.events_executed();
     // Without drain the clock hard-stops at the horizon even when the last
     // executed event lies before it; with drain the queue runs dry and the
@@ -397,6 +374,7 @@ class OpenEngine {
   MuxPolicy mux_;
   mapreduce::Scheduler scheduler_;
   trace::SpotPriceModel prices_;
+  serve::PlannerService planner_;
   std::unique_ptr<trace::ArrivalProcess> arrivals_;
   WindowedArea busy_area_;
   WindowedArea queue_area_;
@@ -415,6 +393,31 @@ class OpenEngine {
 
 }  // namespace
 
+AdmissionDecision admission_decide(const AdmissionConfig& config,
+                                   const mapreduce::JobSpec& spec,
+                                   double backlog, double idle_containers,
+                                   double total_containers) {
+  if (!config.enabled) {
+    return AdmissionDecision::kAdmit;
+  }
+  if (backlog + static_cast<double>(spec.total_tasks()) >
+      config.reject_queue_factor * total_containers) {
+    return AdmissionDecision::kReject;
+  }
+  const double headroom = std::max(0.0, idle_containers - backlog);
+  // Speculative demand of BOTH stages: a reduce-dominated job speculates
+  // reduce_r extra attempts per reduce task and must not slip past the
+  // headroom check on the strength of a tiny map stage.
+  const double demand =
+      static_cast<double>(spec.r) * static_cast<double>(spec.num_tasks) +
+      static_cast<double>(spec.effective_reduce_r()) *
+          static_cast<double>(spec.reduce_tasks);
+  if (demand > config.degrade_headroom * headroom) {
+    return AdmissionDecision::kDegrade;
+  }
+  return AdmissionDecision::kAdmit;
+}
+
 void AdmissionConfig::validate() const {
   CHRONOS_EXPECTS(std::isfinite(degrade_headroom) && degrade_headroom > 0.0,
                   "degrade_headroom must be positive and finite");
@@ -427,6 +430,7 @@ void OpenSystemConfig::validate() const {
   arrivals.validate();
   workload.validate();
   admission.validate();
+  plan_cache.validate();
   CHRONOS_EXPECTS(std::isfinite(duration) && duration > 0.0,
                   "open-system duration must be positive and finite");
   CHRONOS_EXPECTS(std::isfinite(warm_up) && warm_up >= 0.0 &&

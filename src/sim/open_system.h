@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "mapreduce/scheduler.h"
+#include "serve/plan_cache.h"
 #include "sim/cluster.h"
 #include "sim/metrics.h"
 #include "strategies/policies.h"
@@ -48,8 +49,8 @@ struct AdmissionConfig {
   bool enabled = true;
 
   /// A job is degraded to the no-speculation baseline when its speculative
-  /// demand r * num_tasks exceeds degrade_headroom * max(0, idle - backlog)
-  /// free containers.
+  /// demand — r extra attempts per map task plus reduce_r per reduce task —
+  /// exceeds degrade_headroom * max(0, idle - backlog) free containers.
   double degrade_headroom = 1.0;
 
   /// A job is rejected outright when the container backlog plus its own
@@ -58,6 +59,20 @@ struct AdmissionConfig {
 
   void validate() const;
 };
+
+/// Outcome of admission control for one planned arrival.
+enum class AdmissionDecision { kAdmit, kDegrade, kReject };
+
+/// The pure admission rule the engine applies at each arrival, exposed so
+/// tests can drive it against synthetic cluster states. `backlog` is the
+/// pending container-request count, `idle_containers` / `total_containers`
+/// the cluster occupancy at the arrival instant. Speculative demand counts
+/// BOTH stages: spec.r * num_tasks + effective_reduce_r() * reduce_tasks
+/// (a reduce-heavy job must not slip past the headroom check).
+AdmissionDecision admission_decide(const AdmissionConfig& config,
+                                   const mapreduce::JobSpec& spec,
+                                   double backlog, double idle_containers,
+                                   double total_containers);
 
 /// Configuration of one open-system run.
 struct OpenSystemConfig {
@@ -77,6 +92,11 @@ struct OpenSystemConfig {
   trace::SpotPriceConfig prices;
 
   AdmissionConfig admission;
+
+  /// Plan-cache mode of the per-run serve::PlannerService. kOff and kExact
+  /// are byte-identical to uncached planning; kQuantized shares plans
+  /// within grid buckets (see serve/plan_cache.h).
+  serve::PlanCacheConfig plan_cache;
 
   sim::ClusterConfig cluster;
   mapreduce::SchedulerConfig scheduler;
@@ -153,6 +173,12 @@ struct OpenSystemResult {
   /// Aggregate metrics of the measured completed jobs (outcome rows are
   /// not retained; aggregate accessors only).
   sim::RunMetrics metrics;
+
+  /// Plan-cache traffic of the run's PlannerService (0/0 with the cache
+  /// off). Not part of the CSV/JSON reports — the serve.* obs metrics and
+  /// these counters carry it instead, so cached runs stay byte-identical.
+  std::uint64_t plan_cache_hits = 0;
+  std::uint64_t plan_cache_misses = 0;
 
   std::uint64_t events_executed = 0;
   double end_time = 0.0;  ///< simulated clock when the run stopped

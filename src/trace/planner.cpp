@@ -69,12 +69,22 @@ core::Strategy analytic_strategy(strategies::PolicyKind kind) {
   CHRONOS_EXPECTS(false, "policy has no analytic strategy");
 }
 
-core::OptimizationResult plan_job(TracedJob& job,
-                                  strategies::PolicyKind policy,
-                                  const PlannerConfig& config,
-                                  const SpotPriceModel& prices) {
-  auto& spec = job.spec;
-  spec.price = prices.price_at(job.submit_time);
+strategies::PolicyKind policy_of(core::Strategy strategy) {
+  switch (strategy) {
+    case core::Strategy::kClone:
+      return strategies::PolicyKind::kClone;
+    case core::Strategy::kSpeculativeRestart:
+      return strategies::PolicyKind::kSRestart;
+    case core::Strategy::kSpeculativeResume:
+      return strategies::PolicyKind::kSResume;
+  }
+  CHRONOS_EXPECTS(false, "unknown analytic strategy");
+}
+
+core::OptimizationResult plan_spec(mapreduce::JobSpec& spec,
+                                   strategies::PolicyKind policy,
+                                   const PlannerConfig& config, double price) {
+  spec.price = price;
 
   if (!has_analytic_strategy(policy)) {
     spec.r = 0;
@@ -91,6 +101,14 @@ core::OptimizationResult plan_job(TracedJob& job,
   spec.tau_kill = params.tau_kill;
   spec.r = result.feasible ? result.r_opt : 1;  // fall back to one copy
   return result;
+}
+
+core::OptimizationResult plan_job(TracedJob& job,
+                                  strategies::PolicyKind policy,
+                                  const PlannerConfig& config,
+                                  const SpotPriceModel& prices) {
+  return plan_spec(job.spec, policy, config,
+                   prices.price_at(job.submit_time));
 }
 
 void plan_trace(std::vector<TracedJob>& jobs, strategies::PolicyKind policy,

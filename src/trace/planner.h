@@ -42,10 +42,23 @@ core::Economics to_economics(const mapreduce::JobSpec& spec,
 bool has_analytic_strategy(strategies::PolicyKind kind);
 core::Strategy analytic_strategy(strategies::PolicyKind kind);
 
-/// Fills spec.price (spot price at submit_time), spec.tau_est/tau_kill, and
-/// — for Chronos policies — spec.r via the Algorithm-1 optimizer. Baseline
-/// policies only get the price. Returns the optimizer result for Chronos
-/// policies (r = 0 result otherwise).
+/// Inverse of analytic_strategy: the simulator policy that executes an
+/// analytic strategy (total on core::Strategy).
+strategies::PolicyKind policy_of(core::Strategy strategy);
+
+/// Price-free planning core: fills spec.price (from the given spot price),
+/// spec.tau_est/tau_kill, and — for Chronos policies — spec.r via the
+/// Algorithm-1 optimizer. Baseline policies get r = 0 and the timer fields
+/// only. Every planning path (closed-system plan_job, the serve::
+/// PlannerService) funnels through this, so *when* a job is priced is
+/// decided exactly once by the caller handing over `price`.
+core::OptimizationResult plan_spec(mapreduce::JobSpec& spec,
+                                   strategies::PolicyKind policy,
+                                   const PlannerConfig& config, double price);
+
+/// Plans a traced job at its submission time: plan_spec with the spot price
+/// sampled at job.submit_time (the §VI Application Master clock — never
+/// trace-generation or retry time).
 core::OptimizationResult plan_job(TracedJob& job,
                                   strategies::PolicyKind policy,
                                   const PlannerConfig& config,

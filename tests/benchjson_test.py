@@ -7,7 +7,9 @@ binaries under one name used to silently corrupt the recorded median), the
 diff report.
 """
 
+import contextlib
 import importlib.util
+import io
 import json
 import os
 import pathlib
@@ -155,6 +157,45 @@ class DiffCommandTest(unittest.TestCase):
         write_run_file(self.path("after.json"), {"BM_A": 1000.0})
         self.assertEqual(
             self.diff(self.path("before.json"), self.path("after.json")), 0)
+
+    def test_gate_fails_on_missing_baseline_benchmark(self):
+        # A baseline benchmark that vanishes from the fresh run (renamed or
+        # dropped from the filter) must fail the gate naming it — it used to
+        # sail through because the gate only compared paired benchmarks.
+        write_run_file(self.path("before.json"),
+                       {"BM_A": 100.0, "BM_Gone": 100.0, "BM_Lost": 50.0})
+        write_run_file(self.path("after.json"), {"BM_A": 100.0})
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            rc = self.diff(self.path("before.json"), self.path("after.json"),
+                           "--max-regress", "10")
+        self.assertEqual(rc, 1)
+        self.assertIn("BM_Gone", stderr.getvalue())
+        self.assertIn("BM_Lost", stderr.getvalue())
+        # The report is still written for inspection.
+        self.assertTrue(os.path.exists(self.path("report.json")))
+
+    def test_missing_baseline_without_gate_is_not_fatal(self):
+        # Plain diffs (no --max-regress) document transitions across PRs
+        # where benchmarks legitimately come and go; only the gate hardens.
+        write_run_file(self.path("before.json"),
+                       {"BM_A": 100.0, "BM_Gone": 100.0})
+        write_run_file(self.path("after.json"), {"BM_A": 100.0})
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            rc = self.diff(self.path("before.json"), self.path("after.json"))
+        self.assertEqual(rc, 0)
+        self.assertIn("BM_Gone", stderr.getvalue())  # still warned about
+
+    def test_new_benchmark_in_after_does_not_trip_gate(self):
+        write_run_file(self.path("before.json"), {"BM_A": 100.0})
+        write_run_file(self.path("after.json"),
+                       {"BM_A": 100.0, "BM_New": 1e9})
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            rc = self.diff(self.path("before.json"), self.path("after.json"),
+                           "--max-regress", "10")
+        self.assertEqual(rc, 0)
 
     def test_accepts_committed_diff_report_as_baseline(self):
         # A committed BENCH_*.json diff report serves as the --before side:

@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "common/error.h"
+#include "serve/plan_cache.h"
 #include "sim/cluster.h"
 #include "sim/metrics.h"
 #include "sim/open_system.h"
 #include "trace/arrivals.h"
+#include "trace/spot_price.h"
 #include "trace/workload.h"
 
 namespace chronos {
@@ -165,6 +167,40 @@ TEST(OpenSystemAdmission, ControllerDoesNotPerturbArrivalStream) {
             sim::run_open_system(off).arrivals);
 }
 
+TEST(OpenSystemAdmission, DegradeCountsReduceStageSpeculation) {
+  // Regression: the headroom rule used to size speculative demand from the
+  // map stage alone (r * num_tasks), so a reduce-dominated job with heavy
+  // reduce-stage speculation sailed through undegraded. One map task with
+  // r = 0 but 100 reduce tasks at reduce_r = 5 demands 500 speculative
+  // containers — far beyond any headroom — and must degrade.
+  sim::AdmissionConfig admission;
+  admission.enabled = true;
+  mapreduce::JobSpec spec;
+  spec.num_tasks = 1;
+  spec.r = 0;
+  spec.reduce_tasks = 100;
+  spec.reduce_r = 5;
+  EXPECT_EQ(sim::admission_decide(admission, spec, /*backlog=*/0.0,
+                                  /*idle_containers=*/8.0,
+                                  /*total_containers=*/1000.0),
+            sim::AdmissionDecision::kDegrade);
+  // The same job with the reduce stage's speculation turned off fits.
+  spec.reduce_r = 0;
+  EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 8.0, 1000.0),
+            sim::AdmissionDecision::kAdmit);
+  // reduce_r = -1 inherits the map-stage r: 3 * (1 + 100) = 303 demanded.
+  spec.r = 3;
+  spec.reduce_r = -1;
+  EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 8.0, 1000.0),
+            sim::AdmissionDecision::kDegrade);
+  EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 400.0, 1000.0),
+            sim::AdmissionDecision::kAdmit);
+  // Map-only jobs behave exactly as before the fix.
+  spec.reduce_tasks = 0;
+  EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 8.0, 1000.0),
+            sim::AdmissionDecision::kAdmit);
+}
+
 // --- determinism ------------------------------------------------------------
 
 TEST(OpenSystemDeterminism, SameSeedSameResult) {
@@ -213,6 +249,91 @@ TEST(OpenSystemAuto, PlansOnlyChronosStrategies) {
                                 result.mix[PolicyKind::kSRestart] +
                                 result.mix[PolicyKind::kSResume];
   EXPECT_EQ(chronos + result.degraded, result.admitted);
+}
+
+// --- plan cache through the engine ------------------------------------------
+
+void expect_same_run(const OpenSystemResult& a, const OpenSystemResult& b) {
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.metrics.jobs(), b.metrics.jobs());
+  EXPECT_EQ(a.metrics.total_r_used(), b.metrics.total_r_used());
+  for (const auto kind :
+       {strategies::PolicyKind::kHadoopNS, strategies::PolicyKind::kClone,
+        strategies::PolicyKind::kSRestart, strategies::PolicyKind::kSResume}) {
+    EXPECT_EQ(a.mix[kind], b.mix[kind]);
+  }
+  // Bit-identical floating-point aggregates, not just statistically close.
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.mean_jobs_in_system, b.mean_jobs_in_system);
+  EXPECT_EQ(a.mean_sojourn, b.mean_sojourn);
+  EXPECT_EQ(a.miss_rate, b.miss_rate);
+  EXPECT_EQ(a.mean_cost, b.mean_cost);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+TEST(OpenSystemPlanCache, ExactModeIsBitIdenticalToOff) {
+  // The whole point of exact-key caching: switching it on must not move a
+  // single bit of any simulation output. Auto mode with varied workload
+  // shapes exercises the full optimize_all path through the cache.
+  auto off = base_config(0.3, 4, 4);
+  off.auto_strategy = true;
+  off.workload.t_min_lo = 2.0;
+  off.workload.t_min_hi = 12.0;
+  off.admission.enabled = true;
+  auto exact = off;
+  exact.plan_cache.mode = serve::CacheMode::kExact;
+  const auto a = sim::run_open_system(off);
+  const auto b = sim::run_open_system(exact);
+  expect_same_run(a, b);
+  EXPECT_EQ(a.plan_cache_hits, 0u);
+  EXPECT_EQ(a.plan_cache_misses, 0u);
+  // Every arrival is planned (the plan feeds the admission decision).
+  EXPECT_EQ(b.plan_cache_hits + b.plan_cache_misses, b.arrivals);
+}
+
+TEST(OpenSystemPlanCache, QuantizedModeHitsAndConserves) {
+  // Quantized keys trade bit-identity for hit rate: with a coarse grid over
+  // a continuously-sampled workload the cache must actually hit, and the
+  // run must still satisfy the conservation law.
+  auto config = base_config(0.3, 4, 4);
+  config.auto_strategy = true;
+  config.plan_cache.mode = serve::CacheMode::kQuantized;
+  config.plan_cache.grid = 0.5;
+  const auto result = sim::run_open_system(config);
+  EXPECT_GT(result.plan_cache_hits, 0u);
+  EXPECT_EQ(result.plan_cache_hits + result.plan_cache_misses,
+            result.arrivals);
+  EXPECT_EQ(result.admitted, result.completed + result.in_flight_at_end);
+}
+
+// --- arrival pricing --------------------------------------------------------
+
+TEST(OpenSystemPricing, ArrivalsArePricedAtTheirArrivalInstant) {
+  // One trace-replayed job landing in the 6th price step of a fast spot
+  // clock: its cost must be machine_time * price_at(arrival), not the
+  // price at time zero (the stale clock the engine must never use).
+  auto config = base_config(0.0, 4, 4);
+  config.arrivals.kind = ArrivalKind::kTrace;
+  config.arrivals.times = {550.0};
+  config.prices.step_seconds = 100.0;
+  config.prices.volatility = 0.5;
+  config.duration = 1000.0;
+  config.warm_up = 0.0;
+  const trace::SpotPriceModel prices(config.prices);
+  ASSERT_NE(prices.price_at(550.0), prices.price_at(0.0));
+  const auto result = sim::run_open_system(config);
+  ASSERT_EQ(result.metrics.jobs(), 1u);
+  EXPECT_GT(result.metrics.mean_machine_time(), 0.0);
+  EXPECT_DOUBLE_EQ(
+      result.metrics.mean_cost(),
+      result.metrics.mean_machine_time() * prices.price_at(550.0));
+  EXPECT_NE(result.metrics.mean_cost(),
+            result.metrics.mean_machine_time() * prices.price_at(0.0));
 }
 
 // --- arrival processes ------------------------------------------------------
@@ -473,6 +594,23 @@ TEST(OpenSystemGolden, ResumeFromPartialJournalIsByteIdentical) {
   ASSERT_EQ(run_command(kSweeprun + " " + kManifest +
                         " --no-table --threads 2 --journal " + journal +
                         " --csv " + csv + " --json " + json),
+            0);
+  EXPECT_EQ(slurp(csv), slurp(kGoldenDir + "/open_system.csv"));
+  EXPECT_EQ(slurp(json), slurp(kGoldenDir + "/open_system.json"));
+}
+
+TEST(OpenSystemGolden, ExactPlanCacheReportsMatchUncachedGoldens) {
+  // open_system_cached.ini is the same grid with `plan_cache = exact`:
+  // exact-key hits are only ever served for bit-identical planning inputs,
+  // so its reports must match the UNCACHED manifest's goldens byte for byte.
+  const std::string manifest =
+      std::string(CHRONOS_MANIFEST_DIR) + "/open_system_cached.ini";
+  const std::string csv = temp_path("cached.csv");
+  const std::string json = temp_path("cached.json");
+  ASSERT_EQ(run_command(kSweeprun + " " + manifest + " --fresh --no-table" +
+                        " --threads 2 --journal " +
+                        temp_path("cached.journal") + " --csv " + csv +
+                        " --json " + json),
             0);
   EXPECT_EQ(slurp(csv), slurp(kGoldenDir + "/open_system.csv"));
   EXPECT_EQ(slurp(json), slurp(kGoldenDir + "/open_system.json"));

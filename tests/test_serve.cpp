@@ -1,0 +1,461 @@
+// Planner service + plan cache (src/serve/).
+//
+// The load-bearing properties: exact-key caching is bit-identical to
+// uncached planning (a hit is only ever served for bit-identical inputs,
+// and the per-request fields — price, tau timers — are recomputed, never
+// cached), quantized keys bucket on the geometric grid exactly where
+// quantize_bucket says they do, plan_batch is result- and stats-equivalent
+// to sequential plan() calls while doing strictly fewer optimizer runs,
+// and the lock-free table survives a multi-threaded reader/inserter hammer
+// (run under ASan/UBSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "core/optimizer.h"
+#include "serve/plan_cache.h"
+#include "serve/planner.h"
+#include "trace/planner.h"
+
+namespace chronos {
+namespace {
+
+using serve::CacheMode;
+using serve::CachedPlan;
+using serve::PlanCache;
+using serve::PlanCacheConfig;
+using serve::PlanKey;
+using serve::PlannerService;
+using serve::PlannerServiceConfig;
+using serve::PlanReply;
+using serve::PlanRequest;
+
+mapreduce::JobSpec make_spec(int num_tasks, double t_min, double beta,
+                             double deadline) {
+  mapreduce::JobSpec spec;
+  spec.num_tasks = num_tasks;
+  spec.t_min = t_min;
+  spec.beta = beta;
+  spec.deadline = deadline;
+  return spec;
+}
+
+PlannerServiceConfig service_config(CacheMode mode, double grid = 0.0) {
+  PlannerServiceConfig config;
+  config.cache.mode = mode;
+  config.cache.grid = grid;
+  return config;
+}
+
+PlanRequest request_for(mapreduce::JobSpec& spec, double price,
+                        bool auto_strategy,
+                        strategies::PolicyKind policy) {
+  PlanRequest request;
+  request.spec = &spec;
+  request.price = price;
+  request.auto_strategy = auto_strategy;
+  request.policy = policy;
+  return request;
+}
+
+/// Bitwise equality of every field the planner writes.
+void expect_same_plan(const mapreduce::JobSpec& a,
+                      const mapreduce::JobSpec& b) {
+  EXPECT_EQ(a.price, b.price);
+  EXPECT_EQ(a.tau_est, b.tau_est);
+  EXPECT_EQ(a.tau_kill, b.tau_kill);
+  EXPECT_EQ(a.r, b.r);
+}
+
+// --- exact mode: bit identity with uncached planning ------------------------
+
+TEST(PlannerService, ExactHitsAreBitIdenticalToPlanSpec) {
+  // A grid of shapes planned twice through an exact-key service: the second
+  // pass must be all hits and every planned field must equal what the
+  // uncached trace::plan_spec path computes, bit for bit.
+  PlannerService service(service_config(CacheMode::kExact));
+  const trace::PlannerConfig planner = service.config().planner;
+  for (const auto policy :
+       {strategies::PolicyKind::kSResume, strategies::PolicyKind::kSRestart,
+        strategies::PolicyKind::kClone, strategies::PolicyKind::kHadoopNS}) {
+    for (const double t_min : {20.0, 35.0}) {
+      for (const double price : {0.3, 0.7}) {
+        auto cold = make_spec(50, t_min, 1.8, 6.0 * t_min);
+        auto warm = cold;
+        auto reference = cold;
+
+        const PlanReply first =
+            service.plan(request_for(cold, price, false, policy));
+        EXPECT_FALSE(first.cache_hit);
+        const PlanReply second =
+            service.plan(request_for(warm, price, false, policy));
+        EXPECT_TRUE(second.cache_hit);
+
+        trace::plan_spec(reference, policy, planner, price);
+        expect_same_plan(cold, reference);
+        expect_same_plan(warm, reference);
+        EXPECT_EQ(first.r, second.r);
+        EXPECT_EQ(first.kind, second.kind);
+      }
+    }
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.hits, stats.misses);
+  EXPECT_EQ(stats.inserts, stats.misses);
+  EXPECT_EQ(stats.drops, 0u);
+}
+
+TEST(PlannerService, AutoModeMatchesOptimizeAll) {
+  PlannerService service(service_config(CacheMode::kExact));
+  const trace::PlannerConfig planner = service.config().planner;
+  auto spec = make_spec(80, 30.0, 1.6, 200.0);
+  const double price = 0.45;
+
+  const auto params = trace::to_job_params(
+      spec, planner, core::Strategy::kSpeculativeResume);
+  const auto econ = trace::to_economics(spec, planner, price);
+  const auto best = core::optimize_all(params, econ, planner.optimizer);
+
+  auto cold = spec;
+  const PlanReply miss = service.plan(request_for(cold, price, true,
+                                                  strategies::PolicyKind::kSResume));
+  auto warm = spec;
+  const PlanReply hit = service.plan(request_for(warm, price, true,
+                                                 strategies::PolicyKind::kSResume));
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_TRUE(hit.cache_hit);
+  for (const PlanReply& reply : {miss, hit}) {
+    EXPECT_EQ(reply.kind, trace::policy_of(best.strategy));
+    EXPECT_EQ(reply.r, best.result.feasible ? best.result.r_opt : 1);
+    EXPECT_EQ(reply.feasible, best.result.feasible);
+  }
+  expect_same_plan(cold, warm);
+  EXPECT_EQ(cold.r, best.result.feasible ? best.result.r_opt : 1);
+  EXPECT_EQ(cold.tau_kill, params.tau_kill);
+  EXPECT_EQ(cold.tau_est, best.strategy == core::Strategy::kClone
+                              ? 0.0
+                              : params.tau_est);
+}
+
+TEST(PlannerService, OffModeNeverCaches) {
+  PlannerService service(service_config(CacheMode::kOff));
+  auto spec = make_spec(40, 25.0, 2.0, 120.0);
+  for (int i = 0; i < 3; ++i) {
+    auto copy = spec;
+    const PlanReply reply = service.plan(
+        request_for(copy, 0.5, false, strategies::PolicyKind::kSResume));
+    EXPECT_FALSE(reply.cache_hit);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.cache_size, 0u);
+}
+
+// --- per-request fields are never served from the cache ---------------------
+
+TEST(PlannerService, QuantizedHitKeepsTheRequestsOwnPrice) {
+  // Two prices in the same geometric bucket share a plan, but the spec's
+  // price field must carry each request's OWN spot price — a cached plan
+  // must never leak the first arrival's price clock into a later job.
+  const double grid = 0.1;
+  PlannerService service(service_config(CacheMode::kQuantized, grid));
+  ASSERT_EQ(serve::quantize_bucket(1.0, grid),
+            serve::quantize_bucket(1.04, grid));
+  auto first = make_spec(50, 20.0, 1.8, 120.0);
+  auto second = first;
+  const PlanReply miss = service.plan(
+      request_for(first, 1.0, false, strategies::PolicyKind::kSResume));
+  const PlanReply hit = service.plan(
+      request_for(second, 1.04, false, strategies::PolicyKind::kSResume));
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(first.price, 1.0);
+  EXPECT_EQ(second.price, 1.04);  // its own clock, not the cached job's
+  EXPECT_EQ(first.r, second.r);   // but the same shared plan
+}
+
+// --- quantization-boundary bucketing ----------------------------------------
+
+TEST(PlanCacheQuantization, BoundaryValuesLandInTheIntendedBucket) {
+  // Buckets are powers of (1 + grid): bucket(x) = floor(log(x)/log1p(grid)).
+  const double grid = 0.1;
+  const double ratio = 1.0 + grid;
+  // Values within one ratio of each other share a bucket...
+  EXPECT_EQ(serve::quantize_bucket(1.0, grid),
+            serve::quantize_bucket(ratio * 0.999, grid));
+  // ...and the bucket index steps exactly at powers of the ratio.
+  for (const int k : {1, 3, 7}) {
+    const double edge = std::pow(ratio, k);
+    EXPECT_EQ(serve::quantize_bucket(edge * 1.0001, grid),
+              serve::quantize_bucket(edge * ratio * 0.9999, grid));
+    EXPECT_NE(serve::quantize_bucket(edge * 0.9999, grid),
+              serve::quantize_bucket(edge * 1.0001, grid));
+  }
+}
+
+TEST(PlanCacheQuantization, ServiceKeysBucketJobsTogether) {
+  const double grid = 0.1;
+  PlannerService service(service_config(CacheMode::kQuantized, grid));
+  auto a = make_spec(50, 20.0, 1.8, 120.0);
+  auto b = make_spec(50, 21.0, 1.8, 121.0);   // same buckets as a
+  auto c = make_spec(50, 20.0, 1.8, 140.0);   // deadline crosses a boundary
+  ASSERT_EQ(serve::quantize_bucket(20.0, grid),
+            serve::quantize_bucket(21.0, grid));
+  ASSERT_EQ(serve::quantize_bucket(120.0, grid),
+            serve::quantize_bucket(121.0, grid));
+  ASSERT_NE(serve::quantize_bucket(120.0, grid),
+            serve::quantize_bucket(140.0, grid));
+  auto req_a = request_for(a, 0.4, false, strategies::PolicyKind::kSResume);
+  auto req_b = request_for(b, 0.4, false, strategies::PolicyKind::kSResume);
+  auto req_c = request_for(c, 0.4, false, strategies::PolicyKind::kSResume);
+  EXPECT_EQ(service.make_key(req_a), service.make_key(req_b));
+  EXPECT_FALSE(service.make_key(req_a) == service.make_key(req_c));
+
+  EXPECT_FALSE(service.plan(req_a).cache_hit);
+  EXPECT_TRUE(service.plan(req_b).cache_hit);   // same bucket: shared plan
+  EXPECT_FALSE(service.plan(req_c).cache_hit);  // new bucket: own plan
+  EXPECT_EQ(a.r, b.r);
+  // Different planning modes never share a bucket even on equal shapes.
+  auto d = a;
+  auto req_d = request_for(d, 0.4, true, strategies::PolicyKind::kSResume);
+  EXPECT_FALSE(service.make_key(req_a) == service.make_key(req_d));
+}
+
+// --- batch API ---------------------------------------------------------------
+
+TEST(PlannerService, BatchMatchesSequentialPlans) {
+  // The same request stream through plan_batch and through sequential
+  // plan() calls on a twin service: bit-identical specs, identical replies
+  // and identical hit/miss accounting.
+  const auto shapes = std::vector<mapreduce::JobSpec>{
+      make_spec(50, 20.0, 1.8, 120.0), make_spec(80, 30.0, 1.6, 200.0),
+      make_spec(50, 20.0, 1.8, 120.0),  // duplicate of [0]
+      make_spec(12, 8.0, 2.4, 60.0)};
+  const std::vector<double> prices = {0.4, 0.5, 0.4, 0.6};
+  const std::vector<bool> autos = {false, true, false, false};
+  const std::vector<strategies::PolicyKind> policies = {
+      strategies::PolicyKind::kSResume, strategies::PolicyKind::kSResume,
+      strategies::PolicyKind::kSResume, strategies::PolicyKind::kHadoopS};
+
+  for (const CacheMode mode :
+       {CacheMode::kOff, CacheMode::kExact, CacheMode::kQuantized}) {
+    const double grid = mode == CacheMode::kQuantized ? 0.05 : 0.0;
+    PlannerService batched(service_config(mode, grid));
+    PlannerService sequential(service_config(mode, grid));
+
+    auto batch_specs = shapes;
+    std::vector<PlanRequest> requests;
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      requests.push_back(request_for(batch_specs[i], prices[i], autos[i],
+                                     policies[i]));
+    }
+    const auto batch_replies = batched.plan_batch(requests);
+
+    auto seq_specs = shapes;
+    std::vector<PlanReply> seq_replies;
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      seq_replies.push_back(sequential.plan(request_for(
+          seq_specs[i], prices[i], autos[i], policies[i])));
+    }
+
+    ASSERT_EQ(batch_replies.size(), seq_replies.size());
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      expect_same_plan(batch_specs[i], seq_specs[i]);
+      EXPECT_EQ(batch_replies[i].kind, seq_replies[i].kind) << i;
+      EXPECT_EQ(batch_replies[i].r, seq_replies[i].r) << i;
+      EXPECT_EQ(batch_replies[i].cache_hit, seq_replies[i].cache_hit) << i;
+    }
+    const auto lhs = batched.stats();
+    const auto rhs = sequential.stats();
+    EXPECT_EQ(lhs.requests, rhs.requests);
+    EXPECT_EQ(lhs.hits, rhs.hits);
+    EXPECT_EQ(lhs.misses, rhs.misses);
+    EXPECT_EQ(lhs.inserts, rhs.inserts);
+    EXPECT_EQ(lhs.cache_size, rhs.cache_size);
+  }
+}
+
+TEST(PlannerService, BatchWarmPassIsAllHits) {
+  PlannerService service(service_config(CacheMode::kExact));
+  auto specs = std::vector<mapreduce::JobSpec>{
+      make_spec(50, 20.0, 1.8, 120.0), make_spec(80, 30.0, 1.6, 200.0)};
+  std::vector<PlanRequest> requests;
+  for (auto& spec : specs) {
+    requests.push_back(
+        request_for(spec, 0.4, true, strategies::PolicyKind::kSResume));
+  }
+  for (const auto& reply : service.plan_batch(requests)) {
+    EXPECT_FALSE(reply.cache_hit);
+  }
+  auto warm_specs = specs;
+  std::vector<PlanRequest> warm;
+  for (auto& spec : warm_specs) {
+    warm.push_back(
+        request_for(spec, 0.4, true, strategies::PolicyKind::kSResume));
+  }
+  for (const auto& reply : service.plan_batch(warm)) {
+    EXPECT_TRUE(reply.cache_hit);
+  }
+  expect_same_plan(specs[0], warm_specs[0]);
+  expect_same_plan(specs[1], warm_specs[1]);
+}
+
+// --- the lock-free table ----------------------------------------------------
+
+TEST(PlanCacheTable, InsertFindRoundTrip) {
+  PlanCache cache(64);
+  PlanKey key;
+  key.mode = 2;
+  key.num_tasks = 50;
+  key.t_min = 123;
+  EXPECT_EQ(cache.find(key), nullptr);
+  EXPECT_TRUE(cache.insert(key, CachedPlan{strategies::PolicyKind::kClone,
+                                           3, true}));
+  const CachedPlan* found = cache.find(key);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->kind, strategies::PolicyKind::kClone);
+  EXPECT_EQ(found->r, 3);
+  EXPECT_TRUE(found->feasible);
+  // Re-inserting the same key reports failure and keeps the first value.
+  EXPECT_FALSE(cache.insert(key, CachedPlan{strategies::PolicyKind::kMantri,
+                                            9, false}));
+  EXPECT_EQ(cache.find(key)->r, 3);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTable, FullTableDropsInsertsButStaysCorrect) {
+  PlanCache cache(1);  // a single slot: the second distinct key must drop
+  PlanKey a;
+  a.t_min = 1;
+  PlanKey b;
+  b.t_min = 2;
+  EXPECT_TRUE(cache.insert(a, CachedPlan{strategies::PolicyKind::kClone,
+                                         1, true}));
+  EXPECT_FALSE(cache.insert(b, CachedPlan{strategies::PolicyKind::kClone,
+                                          2, true}));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_NE(cache.find(a), nullptr);
+  EXPECT_EQ(cache.find(b), nullptr);
+}
+
+TEST(PlannerService, TinyCacheStillPlansCorrectly) {
+  // With a one-slot cache most inserts drop; every plan must still be
+  // correct (computed fresh when it cannot be shared).
+  PlannerServiceConfig config = service_config(CacheMode::kExact);
+  config.cache.capacity = 1;
+  PlannerService service(config);
+  const trace::PlannerConfig planner = service.config().planner;
+  for (const double deadline : {100.0, 110.0, 120.0, 130.0}) {
+    auto spec = make_spec(50, 20.0, 1.8, deadline);
+    auto reference = spec;
+    service.plan(request_for(spec, 0.4, false,
+                             strategies::PolicyKind::kSResume));
+    trace::plan_spec(reference, strategies::PolicyKind::kSResume, planner,
+                     0.4);
+    expect_same_plan(spec, reference);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.cache_size, 1u);
+  EXPECT_GT(stats.drops, 0u);
+}
+
+TEST(PlanCacheConfigValidation, RejectsBadKnobs) {
+  PlanCacheConfig bad_grid;
+  bad_grid.mode = CacheMode::kQuantized;
+  bad_grid.grid = 0.0;
+  EXPECT_THROW(bad_grid.validate(), PreconditionError);
+  bad_grid.grid = -0.5;
+  EXPECT_THROW(bad_grid.validate(), PreconditionError);
+  PlanCacheConfig bad_capacity;
+  bad_capacity.mode = CacheMode::kExact;
+  bad_capacity.capacity = 0;
+  EXPECT_THROW(bad_capacity.validate(), PreconditionError);
+  PlanCacheConfig off;  // off ignores the other knobs entirely
+  off.capacity = 0;
+  EXPECT_NO_THROW(off.validate());
+}
+
+// --- multi-threaded hammer (readers + inserters, ASan/UBSan in CI) ----------
+
+TEST(PlannerServiceConcurrency, HammerReadersAndInserters) {
+  // One shared exact-key service, 6 threads planning overlapping slices of
+  // a 96-shape pool in different orders: early threads insert while late
+  // ones read. Afterwards every plan must equal the uncached reference.
+  PlannerService service(service_config(CacheMode::kExact));
+  const trace::PlannerConfig planner = service.config().planner;
+  constexpr int kShapes = 96;
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 40;
+
+  const auto shape_of = [](int s) {
+    return make_spec(20 + (s % 7), 15.0 + s, 1.5 + 0.01 * (s % 11),
+                     130.0 + 2.0 * s);
+  };
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &shape_of, &mismatches, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int s = 0; s < kShapes; ++s) {
+          const int shape = (s * (t + 1) + round) % kShapes;
+          auto spec = shape_of(shape);
+          PlanRequest request;
+          request.spec = &spec;
+          request.price = 0.25 + 0.005 * shape;
+          request.auto_strategy = (shape % 2) == 0;
+          request.policy = strategies::PolicyKind::kSResume;
+          const PlanReply reply = service.plan(request);
+          if (reply.r != spec.r || spec.price != request.price) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kThreads) * kRounds * kShapes);
+  EXPECT_EQ(stats.hits + stats.misses, stats.requests);
+  // Every shape was eventually cached (the table is big enough) and every
+  // cached plan equals the uncached reference.
+  EXPECT_EQ(stats.cache_size, static_cast<std::size_t>(kShapes));
+  for (int s = 0; s < kShapes; ++s) {
+    auto spec = shape_of(s);
+    auto reference = shape_of(s);
+    PlanRequest request;
+    request.spec = &spec;
+    request.price = 0.25 + 0.005 * s;
+    request.auto_strategy = (s % 2) == 0;
+    request.policy = strategies::PolicyKind::kSResume;
+    const PlanReply reply = service.plan(request);
+    EXPECT_TRUE(reply.cache_hit) << s;
+    if (request.auto_strategy) {
+      const auto params = trace::to_job_params(
+          reference, planner, core::Strategy::kSpeculativeResume);
+      const auto econ =
+          trace::to_economics(reference, planner, request.price);
+      const auto best = core::optimize_all(params, econ, planner.optimizer);
+      EXPECT_EQ(reply.kind, trace::policy_of(best.strategy)) << s;
+      EXPECT_EQ(spec.r, best.result.feasible ? best.result.r_opt : 1) << s;
+    } else {
+      trace::plan_spec(reference, request.policy, planner, request.price);
+      expect_same_plan(spec, reference);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chronos

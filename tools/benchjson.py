@@ -163,6 +163,19 @@ def cmd_diff(args):
         if "speedup" in row:
             print(f"  {row['speedup']:7.2f}x  {name}")
     if args.max_regress is not None:
+        # The gate only compares benchmarks present on both sides, so a
+        # baseline benchmark that vanished from the fresh run (renamed,
+        # dropped from the filter, binary left off the command line) would
+        # otherwise sail through ungated. Treat every disappearance as a
+        # hard failure naming the benchmark.
+        vanished = sorted(set(before_b) - set(after_b))
+        if vanished:
+            for name in vanished:
+                print(f"MISSING: baseline benchmark {name!r} is absent "
+                      "from the after run -- it was renamed, filtered out "
+                      "or its binary was not measured, so the gate cannot "
+                      "cover it", file=sys.stderr)
+            return 1
         limit = 1.0 + args.max_regress / 100.0
         regressions = [
             (name, (row["after_ns"] / row["before_ns"] - 1.0) * 100.0)
