@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <limits>
 #include <system_error>
 
 #include "common/error.h"
@@ -207,6 +208,66 @@ bool parse_double(std::string_view text, double& out) {
   }
   out = parsed;
   return true;
+}
+
+void append_hex_double(std::string& out, double v) {
+  char buffer[48];
+  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), v,
+                                    std::chars_format::hex);
+  CHRONOS_ENSURES(result.ec == std::errc(), "hex to_chars failed");
+  out.append(buffer, result.ptr);
+}
+
+bool parse_hex_double(std::string_view text, double& out) {
+  if (text.empty()) {
+    return false;
+  }
+  bool negative = false;
+  if (text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  if (text == "inf" || text == "nan") {
+    out = text == "inf" ? std::numeric_limits<double>::infinity()
+                        : std::numeric_limits<double>::quiet_NaN();
+  } else {
+    const auto result = std::from_chars(
+        text.data(), text.data() + text.size(), out, std::chars_format::hex);
+    if (result.ec != std::errc() ||
+        result.ptr != text.data() + text.size()) {
+      return false;
+    }
+  }
+  if (negative) {
+    out = -out;
+  }
+  return true;
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value, 16);
+  return std::string(buffer, result.ptr);
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) {
+    return false;
+  }
+  const auto result =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc() &&
+         result.ptr == text.data() + text.size();
 }
 
 }  // namespace chronos::numeric

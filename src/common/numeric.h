@@ -7,6 +7,7 @@
 // (Theorem 4 of the paper).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -71,5 +72,27 @@ std::string format_double_g(double v);
 /// and a leading '+'). Returns false when the text is empty, has trailing
 /// characters, or does not parse.
 bool parse_double(std::string_view text, double& out);
+
+// --- bit-exact wire encoding helpers ---------------------------------------
+//
+// Shared by the checkpoint journal and the fabric wire protocol so that both
+// text formats agree byte-for-byte on how a double and a checksum look.
+
+/// Appends the exact textual form of a double: hex float via to_chars
+/// ("1.4p+1"), with "inf"/"-inf"/"nan" for non-finite values.
+void append_hex_double(std::string& out, double v);
+
+/// Parses a hex-float field exactly as append_hex_double writes it. Returns
+/// false when the text is empty, malformed, or has trailing characters.
+bool parse_hex_double(std::string_view text, double& out);
+
+/// 64-bit FNV-1a hash of `text` (checksums for journal/protocol lines).
+std::uint64_t fnv1a(std::string_view text);
+
+/// Lower-case hex form of a 64-bit value, no leading zeros ("0" for 0).
+std::string hex64(std::uint64_t value);
+
+/// Parses an unsigned decimal integer field; false on empty/trailing/bad.
+bool parse_u64(std::string_view text, std::uint64_t& out);
 
 }  // namespace chronos::numeric

@@ -1,5 +1,7 @@
 #include "exp/checkpoint.h"
 
+#include <unistd.h>
+
 #include <charconv>
 #include <cstring>
 #include <filesystem>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/numeric.h"
 #include "exp/sweep.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -17,6 +20,12 @@
 namespace chronos::exp {
 
 namespace {
+
+using numeric::append_hex_double;
+using numeric::fnv1a;
+using numeric::hex64;
+using numeric::parse_hex_double;
+using numeric::parse_u64;
 
 const obs::Counter c_journal_entries = obs::counter("exp.journal.entries");
 const obs::Counter c_journal_bytes = obs::counter("exp.journal.bytes");
@@ -26,31 +35,25 @@ constexpr std::string_view kHeaderPrefix = "chronos-journal v1 fp=";
 constexpr std::string_view kEntryPrefix = "cell ";
 constexpr std::string_view kChecksumSep = " crc=";
 
-std::uint64_t fnv1a(std::string_view text) {
-  std::uint64_t hash = 1469598103934665603ULL;
-  for (const unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ULL;
+/// Unlinks a scratch file on destruction unless the owner committed it
+/// (renamed it into place). Covers every throw path between creation and
+/// commit with one object instead of per-error cleanup calls.
+class TempFileGuard {
+ public:
+  explicit TempFileGuard(std::string path) : path_(std::move(path)) {}
+  ~TempFileGuard() {
+    if (!committed_) {
+      std::remove(path_.c_str());
+    }
   }
-  return hash;
-}
+  TempFileGuard(const TempFileGuard&) = delete;
+  TempFileGuard& operator=(const TempFileGuard&) = delete;
+  void commit() { committed_ = true; }
 
-std::string hex64(std::uint64_t value) {
-  char buffer[17];
-  const auto result =
-      std::to_chars(buffer, buffer + sizeof(buffer), value, 16);
-  return std::string(buffer, result.ptr);
-}
-
-/// Exact textual form of a double: hex float via to_chars ("1.4p+1"), with
-/// "inf"/"-inf"/"nan" for the non-finite values utilities can take.
-void append_hex_double(std::string& out, double v) {
-  char buffer[48];
-  const auto result = std::to_chars(buffer, buffer + sizeof(buffer), v,
-                                    std::chars_format::hex);
-  CHRONOS_ENSURES(result.ec == std::errc(), "hex to_chars failed");
-  out.append(buffer, result.ptr);
-}
+ private:
+  std::string path_;
+  bool committed_ = false;
+};
 
 void append_summary(std::string& out, const MetricSummary& summary) {
   out += ' ';
@@ -75,42 +78,6 @@ std::vector<std::string_view> split_fields(std::string_view text) {
     text.remove_prefix(space + 1);
   }
   return fields;
-}
-
-bool parse_u64(std::string_view text, std::uint64_t& out) {
-  if (text.empty()) {
-    return false;
-  }
-  const auto result =
-      std::from_chars(text.data(), text.data() + text.size(), out);
-  return result.ec == std::errc() &&
-         result.ptr == text.data() + text.size();
-}
-
-bool parse_hex_double(std::string_view text, double& out) {
-  if (text.empty()) {
-    return false;
-  }
-  bool negative = false;
-  if (text.front() == '-') {
-    negative = true;
-    text.remove_prefix(1);
-  }
-  if (text == "inf" || text == "nan") {
-    out = text == "inf" ? std::numeric_limits<double>::infinity()
-                        : std::numeric_limits<double>::quiet_NaN();
-  } else {
-    const auto result = std::from_chars(
-        text.data(), text.data() + text.size(), out, std::chars_format::hex);
-    if (result.ec != std::errc() ||
-        result.ptr != text.data() + text.size()) {
-      return false;
-    }
-  }
-  if (negative) {
-    out = -out;
-  }
-  return true;
 }
 
 /// Consumes one MetricSummary (6 fields) starting at fields[at].
@@ -396,8 +363,13 @@ CompactStats compact_journal(const std::string& path,
   stats.bytes_after = compacted.size();
 
   // Write-then-rename: readers (and a crash) only ever see either the old
-  // journal or the complete compacted one, never a half-written file.
+  // journal or the complete compacted one, never a half-written file. The
+  // guard unlinks the temp file on *every* error path (short write, failed
+  // flush, rename failure — e.g. the journal living on another device than
+  // the temp would after a future layout change), so a failed compaction
+  // can never strand a stale .compact.tmp next to the journal.
   const std::string temp = path + ".compact.tmp";
+  TempFileGuard guard(temp);
   std::FILE* file = std::fopen(temp.c_str(), "wb");
   CHRONOS_EXPECTS(file != nullptr,
                   "cannot open '" + temp + "' for writing");
@@ -405,17 +377,13 @@ CompactStats compact_journal(const std::string& path,
       std::fwrite(compacted.data(), 1, compacted.size(), file);
   const bool flushed = std::fflush(file) == 0;
   std::fclose(file);
-  if (written != compacted.size() || !flushed) {
-    std::remove(temp.c_str());
-    CHRONOS_EXPECTS(false, "short write to '" + temp + "'");
-  }
+  CHRONOS_EXPECTS(written == compacted.size() && flushed,
+                  "short write to '" + temp + "'");
   std::error_code rename_error;
   std::filesystem::rename(temp, path, rename_error);
-  if (rename_error) {
-    std::remove(temp.c_str());
-    CHRONOS_EXPECTS(false, "cannot rename '" + temp + "' over '" + path +
-                               "': " + rename_error.message());
-  }
+  CHRONOS_EXPECTS(!rename_error, "cannot rename '" + temp + "' over '" +
+                                     path + "': " + rename_error.message());
+  guard.commit();
   return stats;
 }
 
@@ -446,6 +414,15 @@ JournalWriter::~JournalWriter() {
   if (file_ != nullptr) {
     std::fclose(file_);
   }
+}
+
+void JournalWriter::sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHRONOS_EXPECTS(std::fflush(file_) == 0,
+                  "cannot flush journal '" + path_ + "'");
+  // Durability past the page cache: a signal-triggered drain (or a fabric
+  // controller about to exit) must leave the entries on disk, not in RAM.
+  ::fsync(::fileno(file_));
 }
 
 void JournalWriter::append(const JournalEntry& entry) {

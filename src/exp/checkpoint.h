@@ -126,6 +126,12 @@ class JournalWriter {
   /// Appends one finished cell. Thread-safe.
   void append(const JournalEntry& entry);
 
+  /// Flushes buffered bytes and fsyncs the file, so everything appended so
+  /// far survives a crash or power loss. Called on graceful shutdown
+  /// (SIGINT/SIGTERM drain) and by the fabric controller before it exits;
+  /// appends already flush per entry, so this only adds the fsync barrier.
+  void sync();
+
  private:
   std::FILE* file_ = nullptr;
   std::string path_;

@@ -115,9 +115,28 @@ struct CellWork {
   std::size_t target = 0;
 };
 
+/// The barrier decision: does this cell need another adaptive batch? Shared
+/// by run_sweep and run_single_cell so a fabric worker reaches the exact
+/// same replication count (and hence the same aggregate bits) as the
+/// single-process engine would for the same cell.
+bool wants_more_replications(const SweepSpec& spec,
+                             const CellAggregate& aggregate, std::size_t runs,
+                             std::size_t rep_cap) {
+  return spec.adaptive.enabled() && runs < rep_cap &&
+         (runs < 2 || metric_ci(aggregate, spec.adaptive.metric) >
+                          spec.adaptive.target_ci95);
+}
+
+/// Replication target of the next adaptive round.
+std::size_t next_replication_target(const SweepSpec& spec, std::size_t runs,
+                                    std::size_t rep_cap) {
+  return std::min(rep_cap,
+                  runs + static_cast<std::size_t>(spec.adaptive.batch));
+}
+
 void run_one_replication(const SweepHooks& hooks, const CellWork& work,
                          std::uint64_t seed, RunRecord& record,
-                         ProgressTracker& progress) {
+                         ProgressTracker* progress) {
   {
     obs::TraceSpan span("sweep.rep", "exp");
     span.note("cell", static_cast<double>(work.cell));
@@ -143,7 +162,9 @@ void run_one_replication(const SweepHooks& hooks, const CellWork& work,
     }
   }
   c_replications.add();
-  progress.replication_done();
+  if (progress != nullptr) {
+    progress->replication_done();
+  }
 }
 
 }  // namespace
@@ -322,6 +343,16 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
     // deterministic data — which cells are done (journal them) and which
     // need another adaptive batch.
     while (!pending.empty()) {
+      // Graceful drain: stop at the barrier, before committing to another
+      // round. Everything that finished is already journaled; sync so it
+      // survives the process exit that normally follows.
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        if (journal != nullptr) {
+          journal->sync();
+        }
+        throw SweepCancelled();
+      }
       for (CellWork& work : pending) {
         const std::size_t have = work.runs.size();
         work.runs.resize(work.target);
@@ -329,7 +360,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
           const std::uint64_t seed = streams[work.cell].split_seed();
           RunRecord& record = work.runs[k];
           pool.submit([&hooks, &work, &record, seed, &progress] {
-            run_one_replication(hooks, work, seed, record, progress);
+            run_one_replication(hooks, work, seed, record, &progress);
           });
         }
       }
@@ -338,16 +369,10 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepHooks& hooks,
       std::vector<CellWork> still_running;
       for (CellWork& work : pending) {
         CellAggregate aggregate = aggregate_runs(work.runs);
-        const bool wants_more =
-            spec.adaptive.enabled() && work.runs.size() < rep_cap &&
-            (work.runs.size() < 2 ||
-             metric_ci(aggregate, spec.adaptive.metric) >
-                 spec.adaptive.target_ci95);
-        if (wants_more) {
-          work.target = std::min(
-              rep_cap,
-              work.runs.size() +
-                  static_cast<std::size_t>(spec.adaptive.batch));
+        if (wants_more_replications(spec, aggregate, work.runs.size(),
+                                    rep_cap)) {
+          work.target =
+              next_replication_target(spec, work.runs.size(), rep_cap);
           c_adaptive_batches.add();
           still_running.push_back(std::move(work));
         } else {
@@ -405,6 +430,58 @@ SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
   hooks.run = [&factory](const SweepPoint& point, std::uint64_t seed,
                          const SharedCell&) { return factory(point, seed); };
   return run_sweep(spec, hooks, options);
+}
+
+CellAggregate run_single_cell(const SweepSpec& spec, const SweepHooks& hooks,
+                              std::size_t cell) {
+  spec.validate();
+  CHRONOS_EXPECTS(hooks.run != nullptr, "sweep needs a cell runner");
+  const std::size_t cells = spec.num_cells();
+  CHRONOS_EXPECTS(cell < cells,
+                  "cell index " + std::to_string(cell) +
+                      " out of range for a " + std::to_string(cells) +
+                      "-cell sweep");
+  const std::size_t base_reps = static_cast<std::size_t>(spec.replications);
+  const std::size_t rep_cap =
+      spec.adaptive.enabled()
+          ? static_cast<std::size_t>(spec.adaptive.max_replications)
+          : base_reps;
+
+  // Re-derive this cell's seed stream exactly as run_sweep does: the master
+  // is split serially in full grid order and this cell owns the (cell+1)-th
+  // stream, so the seeds below match the full-sweep ones bit for bit.
+  Rng master(spec.seed);
+  for (std::size_t c = 0; c < cell; ++c) {
+    master.split();
+  }
+  Rng stream = master.split();
+
+  CellWork work;
+  work.cell = cell;
+  work.point = decode_cell(spec, cell);
+  work.target = base_reps;
+  if (hooks.setup) {
+    obs::TraceSpan span("sweep.setup", "exp");
+    span.note("cell", static_cast<double>(cell));
+    work.shared = hooks.setup(work.point);
+  }
+
+  while (true) {
+    const std::size_t have = work.runs.size();
+    work.runs.resize(work.target);
+    for (std::size_t k = have; k < work.target; ++k) {
+      const std::uint64_t seed = stream.split_seed();
+      run_one_replication(hooks, work, seed, work.runs[k], nullptr);
+    }
+    CellAggregate aggregate = aggregate_runs(work.runs);
+    if (!wants_more_replications(spec, aggregate, work.runs.size(),
+                                 rep_cap)) {
+      c_cells_finished.add();
+      return aggregate;
+    }
+    work.target = next_replication_target(spec, work.runs.size(), rep_cap);
+    c_adaptive_batches.add();
+  }
 }
 
 }  // namespace chronos::exp

@@ -20,11 +20,13 @@
 //    aggregate byte-identical to an uninterrupted run.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -243,6 +245,22 @@ struct SweepOptions {
   /// fast, and must not throw. Purely observational — it cannot influence
   /// seeds, scheduling, or results.
   std::function<void(const SweepProgress&)> on_progress;
+
+  /// Cooperative cancellation (SIGINT/SIGTERM drain). When non-null and set,
+  /// the engine stops at the next replication-round barrier: the round in
+  /// flight finishes, every cell that completed is journaled, the journal is
+  /// flushed + fsynced, and run_sweep throws SweepCancelled. Re-running with
+  /// the same journal resumes exactly there — nothing finished is lost, and
+  /// the eventual reports are byte-identical to an uninterrupted run.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown by run_sweep when SweepOptions::cancel was observed. By the time
+/// it propagates, all finished cells are journaled and the journal is
+/// synced; the run is cleanly resumable.
+class SweepCancelled : public std::runtime_error {
+ public:
+  SweepCancelled() : std::runtime_error("sweep cancelled") {}
 };
 
 /// Runs the sweep. The result (and hence any report rendered from it) is
@@ -263,5 +281,16 @@ SweepResult assemble_result(
 /// Convenience overload for sweeps without a setup hook.
 SweepResult run_sweep(const SweepSpec& spec, const CellFactory& factory,
                       const SweepOptions& options = {});
+
+/// Runs every replication of one cell exactly as run_sweep would — the same
+/// per-cell seed stream (split off the master in full grid order), the same
+/// base + adaptive replication rounds, the same aggregate bits — without a
+/// journal or thread pool. This is what a fabric worker executes per leased
+/// cell: because it is bit-identical to the single-process engine, a cell
+/// can be re-executed after a worker crash (or executed twice during a lease
+/// handover race) and still produce the exact same journal entry, which is
+/// what makes fabric reassignment idempotent and its dedup byte-exact.
+CellAggregate run_single_cell(const SweepSpec& spec, const SweepHooks& hooks,
+                              std::size_t cell);
 
 }  // namespace chronos::exp

@@ -1,0 +1,75 @@
+#include "fabric/fault.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/numeric.h"
+
+namespace chronos::fabric {
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) {
+      comma = spec.size();
+    }
+    const std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t equals = item.find('=');
+    CHRONOS_EXPECTS(equals != std::string::npos,
+                    "fault item needs key=value, got '" + item + "'");
+    const std::string key = item.substr(0, equals);
+    std::uint64_t value = 0;
+    CHRONOS_EXPECTS(numeric::parse_u64(item.substr(equals + 1), value),
+                    "bad fault count in '" + item + "'");
+    if (key == "kill-after") {
+      plan.kill_after_cells = value;
+    } else if (key == "hang-after") {
+      plan.hang_after_cells = value;
+    } else if (key == "delay-ms") {
+      plan.delay_cell_ms = value;
+    } else if (key == "drop") {
+      CHRONOS_EXPECTS(value >= 1, "drop wants a 1-based frame index");
+      plan.drop_frames.push_back(value);
+    } else if (key == "dup") {
+      CHRONOS_EXPECTS(value >= 1, "dup wants a 1-based frame index");
+      plan.dup_frames.push_back(value);
+    } else if (key == "torn") {
+      CHRONOS_EXPECTS(value >= 1, "torn wants a 1-based frame index");
+      plan.torn_frames.push_back(value);
+    } else {
+      CHRONOS_EXPECTS(false, "unknown fault key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+FaultStream::Send FaultStream::send_frame(const std::string& line) {
+  const std::uint64_t index = next_index_++;
+  const auto scheduled = [index](const std::vector<std::uint64_t>& frames) {
+    return std::find(frames.begin(), frames.end(), index) != frames.end();
+  };
+  if (scheduled(plan_.torn_frames)) {
+    // Half a line, no newline: exactly what a crash mid-write leaves on the
+    // wire. The caller closes the stream right after.
+    inner_.send_bytes(std::string_view(line).substr(0, line.size() / 2));
+    return Send::kTorn;
+  }
+  if (scheduled(plan_.drop_frames)) {
+    return Send::kDropped;
+  }
+  if (!inner_.send_line(line)) {
+    return Send::kError;
+  }
+  if (scheduled(plan_.dup_frames) && !inner_.send_line(line)) {
+    return Send::kError;
+  }
+  return Send::kSent;
+}
+
+}  // namespace chronos::fabric

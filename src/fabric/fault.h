@@ -1,0 +1,83 @@
+// Deterministic fault injection for the sweep fabric.
+//
+// Every failure mode the fabric claims to survive is reproducible as a
+// plain test: a FaultPlan tells one worker exactly when to crash, wedge,
+// slow down, or corrupt its outbound stream — keyed to deterministic
+// counters (cells completed, outbound frame index), never to wall-clock
+// races. `sweeprun --worker --fault SPEC` parses the same plans, so ctest
+// and CI drive identical scenarios.
+//
+//   kill-after=N    crash (abrupt close, no bye) after sending N results
+//   hang-after=N    after N results: stop sending everything, heartbeats
+//                   included, until the controller expires the lease
+//   delay-ms=M      sleep M ms before sending each result
+//   drop=K          swallow the K-th countable outbound frame (1-based)
+//   dup=K           send the K-th countable outbound frame twice
+//   torn=K          send only the front half of the K-th countable frame,
+//                   then crash mid-line (a torn final line)
+//
+// Countable frames are the worker's hello/request/result/bye in send
+// order. Heartbeats are sent from a timer thread, so counting them would
+// make indices racy — they bypass the counter (send_heartbeat).
+// drop/dup/torn repeat: "drop=2,drop=5" affects frames 2 and 5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/transport.h"
+
+namespace chronos::fabric {
+
+struct FaultPlan {
+  std::uint64_t kill_after_cells = 0;  ///< 0 = never
+  std::uint64_t hang_after_cells = 0;  ///< 0 = never
+  std::uint64_t delay_cell_ms = 0;
+  std::vector<std::uint64_t> drop_frames;  ///< 1-based countable indices
+  std::vector<std::uint64_t> dup_frames;
+  std::vector<std::uint64_t> torn_frames;
+
+  bool any() const {
+    return kill_after_cells > 0 || hang_after_cells > 0 ||
+           delay_cell_ms > 0 || !drop_frames.empty() ||
+           !dup_frames.empty() || !torn_frames.empty();
+  }
+};
+
+/// Parses a comma-separated fault spec ("kill-after=1,drop=3"). Throws
+/// PreconditionError on an unknown key or a bad count.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Stream decorator that applies a plan's frame-level faults on the send
+/// path. Not thread-safe by itself; the worker serializes sends.
+class FaultStream {
+ public:
+  FaultStream(Stream& inner, const FaultPlan& plan)
+      : inner_(inner), plan_(plan) {}
+
+  enum class Send {
+    kSent,     ///< delivered (dup counts as delivered)
+    kDropped,  ///< swallowed by a drop fault; the peer never sees it
+    kTorn,     ///< half the bytes went out; the caller must now "crash"
+    kError,    ///< the underlying stream failed (peer vanished)
+  };
+
+  /// Sends one countable frame, applying any drop/dup/torn fault scheduled
+  /// for its index.
+  Send send_frame(const std::string& line);
+
+  /// Sends a heartbeat outside the countable sequence, fault-free.
+  bool send_heartbeat(const std::string& line) {
+    return inner_.send_line(line);
+  }
+
+  std::uint64_t frames_sent() const { return next_index_ - 1; }
+
+ private:
+  Stream& inner_;
+  const FaultPlan& plan_;
+  std::uint64_t next_index_ = 1;
+};
+
+}  // namespace chronos::fabric

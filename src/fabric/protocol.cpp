@@ -1,0 +1,285 @@
+#include "fabric/protocol.h"
+
+#include <string_view>
+
+#include "common/error.h"
+#include "common/numeric.h"
+
+namespace chronos::fabric {
+
+namespace {
+
+using numeric::fnv1a;
+using numeric::hex64;
+using numeric::parse_u64;
+
+/// Tokens (fingerprints, names, reject reasons) must be printable and
+/// space-free so they survive the space-delimited field syntax.
+bool valid_token(std::string_view token) {
+  if (token.empty()) {
+    return false;
+  }
+  for (const char c : token) {
+    if (c < '!' || c > '~') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Result entries may contain spaces (journal lines do) but never a newline
+/// or an empty body.
+bool valid_entry(std::string_view entry) {
+  if (entry.empty()) {
+    return false;
+  }
+  for (const char c : entry) {
+    if (c == '\n' || c == '\r') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool strictly_increasing(const std::vector<std::uint64_t>& cells) {
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    if (cells[i] <= cells[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string encode_payload(const Frame& frame) {
+  std::string out;
+  switch (frame.type) {
+    case FrameType::kHello:
+      CHRONOS_EXPECTS(valid_token(frame.fingerprint),
+                      "hello needs a printable, space-free fingerprint");
+      CHRONOS_EXPECTS(valid_token(frame.name),
+                      "hello needs a printable, space-free name");
+      out = "hello v=" + std::to_string(frame.value) +
+            " fp=" + frame.fingerprint + " name=" + frame.name;
+      break;
+    case FrameType::kWelcome:
+      out = "welcome worker=" + std::to_string(frame.worker) +
+            " hb_ms=" + std::to_string(frame.value);
+      break;
+    case FrameType::kReject:
+      CHRONOS_EXPECTS(valid_token(frame.reason),
+                      "reject needs a printable, space-free reason");
+      out = "reject reason=" + frame.reason;
+      break;
+    case FrameType::kRequest:
+      out = "request worker=" + std::to_string(frame.worker) +
+            " want=" + std::to_string(frame.value);
+      break;
+    case FrameType::kLease: {
+      CHRONOS_EXPECTS(!frame.cells.empty(), "a lease needs at least one cell");
+      CHRONOS_EXPECTS(strictly_increasing(frame.cells),
+                      "lease cells must be strictly increasing");
+      out = "lease id=" + std::to_string(frame.lease) + " cells=";
+      for (std::size_t i = 0; i < frame.cells.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += std::to_string(frame.cells[i]);
+      }
+      break;
+    }
+    case FrameType::kWait:
+      out = "wait ms=" + std::to_string(frame.value);
+      break;
+    case FrameType::kDone:
+      out = "done";
+      break;
+    case FrameType::kResult:
+      CHRONOS_EXPECTS(valid_entry(frame.entry),
+                      "a result needs a non-empty, newline-free entry");
+      out = "result worker=" + std::to_string(frame.worker) +
+            " lease=" + std::to_string(frame.lease) + " entry=" + frame.entry;
+      break;
+    case FrameType::kHeartbeat:
+      out = "heartbeat worker=" + std::to_string(frame.worker) +
+            " done=" + std::to_string(frame.value);
+      break;
+    case FrameType::kBye:
+      out = "bye worker=" + std::to_string(frame.worker);
+      break;
+  }
+  return out;
+}
+
+/// Consumes `prefix` from the front of `text`; false when absent.
+bool eat(std::string_view& text, std::string_view prefix) {
+  if (text.substr(0, prefix.size()) != prefix) {
+    return false;
+  }
+  text.remove_prefix(prefix.size());
+  return true;
+}
+
+/// Consumes a decimal u64 field ending at the next space (or the end).
+bool eat_u64(std::string_view& text, std::uint64_t& out) {
+  const std::size_t space = text.find(' ');
+  const std::string_view token =
+      text.substr(0, space == std::string_view::npos ? text.size() : space);
+  if (!parse_u64(token, out)) {
+    return false;
+  }
+  text.remove_prefix(token.size());
+  return true;
+}
+
+/// Consumes a token field ending at the next space (or the end).
+bool eat_token(std::string_view& text, std::string& out) {
+  const std::size_t space = text.find(' ');
+  const std::string_view token =
+      text.substr(0, space == std::string_view::npos ? text.size() : space);
+  if (!valid_token(token)) {
+    return false;
+  }
+  out.assign(token);
+  text.remove_prefix(token.size());
+  return true;
+}
+
+std::optional<Frame> parse_payload(std::string_view payload) {
+  Frame frame;
+  if (eat(payload, "hello v=")) {
+    frame.type = FrameType::kHello;
+    if (!eat_u64(payload, frame.value) || !eat(payload, " fp=") ||
+        !eat_token(payload, frame.fingerprint) || !eat(payload, " name=") ||
+        !eat_token(payload, frame.name) || !payload.empty()) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  if (eat(payload, "welcome worker=")) {
+    frame.type = FrameType::kWelcome;
+    if (!eat_u64(payload, frame.worker) || !eat(payload, " hb_ms=") ||
+        !eat_u64(payload, frame.value) || !payload.empty()) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  if (eat(payload, "reject reason=")) {
+    frame.type = FrameType::kReject;
+    if (!eat_token(payload, frame.reason) || !payload.empty()) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  if (eat(payload, "request worker=")) {
+    frame.type = FrameType::kRequest;
+    if (!eat_u64(payload, frame.worker) || !eat(payload, " want=") ||
+        !eat_u64(payload, frame.value) || !payload.empty()) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  if (eat(payload, "lease id=")) {
+    frame.type = FrameType::kLease;
+    if (!eat_u64(payload, frame.lease) || !eat(payload, " cells=")) {
+      return std::nullopt;
+    }
+    while (true) {
+      std::uint64_t cell = 0;
+      const std::size_t stop = payload.find_first_of(", ");
+      const std::string_view token = payload.substr(
+          0, stop == std::string_view::npos ? payload.size() : stop);
+      if (!parse_u64(token, cell)) {
+        return std::nullopt;
+      }
+      frame.cells.push_back(cell);
+      payload.remove_prefix(token.size());
+      if (payload.empty()) {
+        break;
+      }
+      if (!eat(payload, ",")) {
+        return std::nullopt;
+      }
+    }
+    if (!strictly_increasing(frame.cells)) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  if (eat(payload, "wait ms=")) {
+    frame.type = FrameType::kWait;
+    if (!eat_u64(payload, frame.value) || !payload.empty()) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  if (payload == "done") {
+    frame.type = FrameType::kDone;
+    return frame;
+  }
+  if (eat(payload, "result worker=")) {
+    frame.type = FrameType::kResult;
+    if (!eat_u64(payload, frame.worker) || !eat(payload, " lease=") ||
+        !eat_u64(payload, frame.lease) || !eat(payload, " entry=")) {
+      return std::nullopt;
+    }
+    if (!valid_entry(payload)) {
+      return std::nullopt;
+    }
+    frame.entry.assign(payload);
+    return frame;
+  }
+  if (eat(payload, "heartbeat worker=")) {
+    frame.type = FrameType::kHeartbeat;
+    if (!eat_u64(payload, frame.worker) || !eat(payload, " done=") ||
+        !eat_u64(payload, frame.value) || !payload.empty()) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  if (eat(payload, "bye worker=")) {
+    frame.type = FrameType::kBye;
+    if (!eat_u64(payload, frame.worker) || !payload.empty()) {
+      return std::nullopt;
+    }
+    return frame;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  std::string line = encode_payload(frame);
+  const std::uint64_t crc = fnv1a(line);  // payload only, before the suffix
+  line += " crc=";
+  line += hex64(crc);
+  CHRONOS_EXPECTS(line.size() <= kMaxFrameBytes,
+                  "frame exceeds kMaxFrameBytes");
+  return line;
+}
+
+std::optional<Frame> decode_frame(const std::string& line) {
+  if (line.empty() || line.size() > kMaxFrameBytes) {
+    return std::nullopt;
+  }
+  // The frame checksum is the LAST " crc=" field: a result frame's embedded
+  // journal entry carries its own " crc=" inside the payload.
+  const std::size_t crc = line.rfind(" crc=");
+  if (crc == std::string::npos) {
+    return std::nullopt;
+  }
+  std::optional<Frame> frame =
+      parse_payload(std::string_view(line).substr(0, crc));
+  if (!frame.has_value()) {
+    return std::nullopt;
+  }
+  // Canonical-or-reject: re-encoding the parsed frame must reproduce the
+  // input exactly. This folds checksum verification and every "leading
+  // zero / odd spacing / wrong field order" case into one byte comparison.
+  if (encode_frame(*frame) != line) {
+    return std::nullopt;
+  }
+  return frame;
+}
+
+}  // namespace chronos::fabric

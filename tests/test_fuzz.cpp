@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "exp/checkpoint.h"
 #include "exp/manifest.h"
+#include "fabric/protocol.h"
 
 namespace chronos::exp {
 namespace {
@@ -351,6 +352,130 @@ TEST(ManifestFuzz, TruncatedManifestsNeverCrash) {
       parse_manifest(base.substr(0, cut));
     } catch (const PreconditionError&) {
       // fine: truncation removed something required
+    }
+  }
+}
+
+// --- fabric wire protocol ---------------------------------------------------
+
+/// One canonical frame of every type, exercising every field syntax the
+/// wire knows (tokens, u64 fields, cell lists, embedded journal entries).
+std::vector<std::string> fabric_seed_frames() {
+  using fabric::Frame;
+  using fabric::FrameType;
+  std::vector<Frame> frames;
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.value = fabric::kProtocolVersion;
+  hello.fingerprint = "cafe0123beef4567";
+  hello.name = "fuzz-worker";
+  frames.push_back(hello);
+  Frame welcome;
+  welcome.type = FrameType::kWelcome;
+  welcome.worker = 12;
+  welcome.value = 500;
+  frames.push_back(welcome);
+  Frame reject;
+  reject.type = FrameType::kReject;
+  reject.reason = "fingerprint-mismatch";
+  frames.push_back(reject);
+  Frame request;
+  request.type = FrameType::kRequest;
+  request.worker = 12;
+  request.value = 4;
+  frames.push_back(request);
+  Frame lease;
+  lease.type = FrameType::kLease;
+  lease.lease = 7;
+  lease.cells = {0, 3, 4, 1000};
+  frames.push_back(lease);
+  Frame wait;
+  wait.type = FrameType::kWait;
+  wait.value = 200;
+  frames.push_back(wait);
+  Frame done;
+  done.type = FrameType::kDone;
+  frames.push_back(done);
+  Frame result;
+  result.type = FrameType::kResult;
+  result.worker = 12;
+  result.lease = 7;
+  result.entry = encode_journal_entry({42, sample_aggregate(0.125)});
+  frames.push_back(result);
+  Frame heartbeat;
+  heartbeat.type = FrameType::kHeartbeat;
+  heartbeat.worker = 12;
+  heartbeat.value = 3;
+  frames.push_back(heartbeat);
+  Frame bye;
+  bye.type = FrameType::kBye;
+  bye.worker = 12;
+  frames.push_back(bye);
+
+  std::vector<std::string> lines;
+  lines.reserve(frames.size());
+  for (const Frame& frame : frames) {
+    lines.push_back(fabric::encode_frame(frame));
+  }
+  return lines;
+}
+
+TEST(FabricFrameFuzz, MutatedFramesAreRejectedOrCanonical) {
+  // Same property the journal format guarantees, now for the wire: a
+  // mutated frame either fails to decode or decodes to a frame whose
+  // canonical encoding is byte-for-byte the input. Nothing half-parses —
+  // which is what lets the controller treat any decodable line as intact.
+  const std::vector<std::string> seeds = fabric_seed_frames();
+  Rng rng(20260808);
+  for (int iteration = 0; iteration < 4000; ++iteration) {
+    const std::string& base = seeds[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(seeds.size()) - 1))];
+    std::string line = base;
+    const int rounds = static_cast<int>(rng.uniform_int(1, 3));
+    for (int r = 0; r < rounds; ++r) {
+      line = mutate(line, rng);
+    }
+    const std::optional<fabric::Frame> decoded = fabric::decode_frame(line);
+    if (decoded.has_value()) {
+      EXPECT_EQ(fabric::encode_frame(*decoded), line)
+          << "iteration " << iteration << " mis-parsed: " << line;
+    }
+  }
+}
+
+TEST(FabricFrameFuzz, RandomGarbageNeverDecodes) {
+  Rng rng(808808);
+  for (int iteration = 0; iteration < 2000; ++iteration) {
+    const auto length = static_cast<std::size_t>(rng.uniform_int(0, 200));
+    std::string line(length, '\0');
+    for (char& c : line) {
+      c = static_cast<char>(rng.uniform_int(0, 255));
+    }
+    EXPECT_FALSE(fabric::decode_frame(line).has_value());
+    // A plausible-looking prefix must not help: the checksum still rules.
+    EXPECT_FALSE(fabric::decode_frame("request worker=" + line).has_value());
+  }
+}
+
+TEST(FabricFrameFuzz, CrossFrameSplicesNeverDecode) {
+  // Splice the front of one canonical frame onto the back of another — the
+  // shape a buggy buffer reuse or interleaved write would produce. The
+  // payload checksum must reject every such chimera (identical halves
+  // reassemble into the original, which is fine).
+  const std::vector<std::string> seeds = fabric_seed_frames();
+  for (std::size_t a = 0; a < seeds.size(); ++a) {
+    for (std::size_t b = 0; b < seeds.size(); ++b) {
+      if (a == b) {
+        continue;
+      }
+      const std::string spliced =
+          seeds[a].substr(0, seeds[a].size() / 2) +
+          seeds[b].substr(seeds[b].size() / 2);
+      const std::optional<fabric::Frame> decoded =
+          fabric::decode_frame(spliced);
+      if (decoded.has_value()) {
+        EXPECT_EQ(fabric::encode_frame(*decoded), spliced);
+      }
     }
   }
 }

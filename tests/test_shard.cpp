@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -359,6 +360,50 @@ TEST(JournalCompaction, RejectsMissingAndForeignJournals) {
   EXPECT_THROW(compact_journal(path, "fp1"), PreconditionError);
   spill(path, "chronos-journal v1 fp=other\n");
   EXPECT_THROW(compact_journal(path, "fp1"), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCompaction, StaleTempFromACrashedCompactionIsConsumed) {
+  // A crash between writing .compact.tmp and renaming it leaves the temp
+  // behind. The next compaction must overwrite it and still end with
+  // exactly one file: the compacted journal.
+  const std::string path = temp_path("compact_stale.journal");
+  const std::string temp = path + ".compact.tmp";
+  write_journal(path, "fp1",
+                {{1, tagged_aggregate(1.0)}, {0, tagged_aggregate(2.0)}});
+  spill(temp, "half-written garbage from a crashed compaction");
+
+  const CompactStats stats = compact_journal(path, "fp1");
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_TRUE(read_journal(path, "fp1").compatible);
+  std::FILE* leftover = std::fopen(temp.c_str(), "rb");
+  EXPECT_EQ(leftover, nullptr) << "stale temp survived compaction";
+  if (leftover != nullptr) std::fclose(leftover);
+  std::remove(path.c_str());
+}
+
+TEST(JournalCompaction, FailedCompactionStrandsNoTempAndKeepsTheJournal) {
+  // Regression for a temp-file leak: every failure path must unlink the
+  // temp and leave the original journal byte-identical.
+  const std::string path = temp_path("compact_fail.journal");
+  const std::string temp = path + ".compact.tmp";
+  write_journal(path, "fp1", {{0, tagged_aggregate(1.0)}});
+  const std::string original = slurp(path);
+
+  // Fingerprint mismatch: fails before any temp exists.
+  EXPECT_THROW(compact_journal(path, "fp2"), PreconditionError);
+  std::FILE* leftover = std::fopen(temp.c_str(), "rb");
+  EXPECT_EQ(leftover, nullptr);
+  if (leftover != nullptr) std::fclose(leftover);
+  EXPECT_EQ(slurp(path), original);
+
+  // Unwritable temp (the path is occupied by a directory): the write
+  // fails mid-compaction, the journal must be untouched.
+  ASSERT_TRUE(std::filesystem::create_directory(temp));
+  EXPECT_THROW(compact_journal(path, "fp1"), PreconditionError);
+  EXPECT_EQ(slurp(path), original);
+  EXPECT_TRUE(read_journal(path, "fp1").compatible);
+  std::filesystem::remove(temp);
   std::remove(path.c_str());
 }
 

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +17,7 @@
 
 #include "common/error.h"
 #include "exp/aggregate.h"
+#include "exp/checkpoint.h"
 #include "exp/report.h"
 #include "exp/threadpool.h"
 #include "trace/planner.h"
@@ -316,6 +318,64 @@ TEST(RunSweep, OneCellNoAxes) {
   EXPECT_TRUE(result.axis_names.empty());
   EXPECT_EQ(result.cells[0].aggregate.runs, 1u);
   EXPECT_GT(result.cells[0].aggregate.pocd.mean, 0.0);
+}
+
+TEST(RunSweep, PresetCancelStopsBeforeAnyCellFinishes) {
+  std::atomic<bool> cancel{true};
+  SweepOptions options;
+  options.threads = 2;
+  options.cancel = &cancel;
+  EXPECT_THROW(run_sweep(tiny_spec(), tiny_cell, options), SweepCancelled);
+}
+
+TEST(RunSweep, CancelledRunDrainsToJournalAndResumesByteIdentically) {
+  // The SIGINT/SIGTERM drain guarantee, minus the signals: cancel mid-run,
+  // every finished cell is journaled and synced, and a rerun with the same
+  // journal produces reports byte-identical to an uninterrupted run.
+  //
+  // Cancellation is only observable at a replication-round barrier, so the
+  // spec must finish cells across different rounds: with this grid and
+  // seed, four cells have a pocd ci95 of exactly 0 after the base two
+  // replications (one policy always either meets or misses the deadline)
+  // while the other two sit near 1.06 — a 0.5 target splits them, so the
+  // first barrier journals four cells and leaves two mid-flight.
+  SweepSpec spec = tiny_spec();
+  spec.adaptive.metric = "pocd";
+  spec.adaptive.target_ci95 = 0.5;
+  spec.adaptive.batch = 2;
+  spec.adaptive.max_replications = 12;
+  const std::string journal =
+      ::testing::TempDir() + "chronos_cancel_tiny.journal";
+  std::remove(journal.c_str());
+  const std::string expected =
+      to_csv(run_sweep(spec, tiny_cell, {.threads = 1}));
+
+  std::atomic<bool> cancel{false};
+  SweepOptions options;
+  options.threads = 1;
+  options.journal = journal;
+  options.cancel = &cancel;
+  options.on_progress = [&cancel](const SweepProgress& progress) {
+    if (progress.cells_done >= 1) {
+      cancel.store(true);
+    }
+  };
+  EXPECT_THROW(run_sweep(spec, tiny_cell, options), SweepCancelled);
+
+  // The four converged cells survived, already on disk; the two
+  // still-running cells were abandoned mid-round.
+  const auto drained = read_journal(journal, spec_fingerprint(spec));
+  EXPECT_TRUE(drained.compatible);
+  EXPECT_EQ(drained.cells.size(), 4u);
+  EXPECT_EQ(drained.cells.count(0), 0u);
+  EXPECT_EQ(drained.cells.count(2), 0u);
+
+  SweepOptions resume;
+  resume.threads = 1;
+  resume.journal = journal;
+  const auto resumed = run_sweep(spec, tiny_cell, resume);
+  EXPECT_EQ(to_csv(resumed), expected);
+  std::remove(journal.c_str());
 }
 
 TEST(RunSweep, EmptySpecThrows) {

@@ -9,6 +9,25 @@
 //            [--csv PATH] [--json PATH] [--no-table]
 //            [--shard I/N] [--shard-dir DIR] [--merge [N]] [--compact]
 //            [--metrics-out PATH] [--trace-out PATH] [--progress]
+//            [--controller ADDR | --worker ADDR] [--name NAME]
+//            [--lease-cells N] [--heartbeat-ms N] [--lease-timeout-ms N]
+//            [--progress-timeout-ms N] [--worker-timeout-ms N]
+//            [--connect-attempts N] [--fault SPEC]
+//
+// Distributed sweeps: `--controller ADDR` serves the manifest's grid as
+// cell leases over a unix/tcp socket (src/fabric/), journals every result
+// as it lands, and renders the usual reports when all cells are in —
+// byte-identical to a single-process run. `--worker ADDR` connects to that
+// controller (same manifest!), computes leased cells and streams them
+// back. Workers may join late, crash, or hang: the controller reassigns
+// their unfinished cells and deduplicates re-deliveries byte-exactly.
+// `--fault SPEC` injects deterministic failures (see src/fabric/fault.h);
+// it exists for tests and CI.
+//
+// SIGINT/SIGTERM drain every mode gracefully: the current replication
+// round (or fabric event loop) winds down, finished cells are flushed and
+// fsynced to the journal, and the process exits with status 130 — a rerun
+// resumes exactly where it stopped.
 //
 // Observability: --metrics-out dumps the process metrics registry as JSON
 // after a successful run, --trace-out records Chrome-trace-event JSON
@@ -28,12 +47,15 @@
 // (overlap/gap/conflict are hard errors) and renders reports byte-identical
 // to a single unsharded run. `--compact` rewrites a journal as its minimal
 // deduplicated equivalent (atomic rename), which resumes identically.
+#include <atomic>
 #include <charconv>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <system_error>
@@ -46,12 +68,34 @@
 #include "exp/report.h"
 #include "exp/sweep.h"
 #include "exp/threadpool.h"
+#include "fabric/controller.h"
+#include "fabric/fault.h"
+#include "fabric/worker.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace {
 
 using namespace chronos;  // NOLINT
+
+/// Raised by the SIGINT/SIGTERM handler; every long-running mode polls it
+/// and drains: journal flushed + fsynced, exit code 130.
+std::atomic<bool> g_cancel{false};
+
+void handle_shutdown_signal(int) { g_cancel.store(true); }
+
+void install_signal_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  // Fabric peers can vanish mid-write; transport reports that as a send
+  // error instead of letting SIGPIPE kill the process.
+  signal(SIGPIPE, SIG_IGN);
+}
+
+constexpr int kInterruptedExit = 130;
 
 struct Cli {
   std::string manifest_path;
@@ -71,6 +115,17 @@ struct Cli {
   std::string metrics_out;  ///< write the metrics registry JSON here
   std::string trace_out;    ///< write Chrome trace-event JSON here
   bool progress = false;    ///< throttled progress lines on stderr
+
+  std::string controller;   ///< --controller endpoint (fabric server)
+  std::string worker;       ///< --worker endpoint (fabric client)
+  std::string worker_name = "worker";
+  std::size_t lease_cells = 4;
+  std::size_t heartbeat_ms = 500;
+  std::size_t lease_timeout_ms = 5000;
+  std::size_t progress_timeout_ms = 0;  ///< 0 = no progress deadline
+  std::size_t worker_timeout_ms = 30000;
+  int connect_attempts = 10;
+  std::string fault;        ///< deterministic fault plan (tests/CI)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -79,7 +134,11 @@ struct Cli {
                "[--journal PATH] [--fresh] [--csv PATH] [--json PATH] "
                "[--no-table] [--shard I/N] [--shard-dir DIR] [--merge [N]] "
                "[--compact] [--metrics-out PATH] [--trace-out PATH] "
-               "[--progress]\n",
+               "[--progress] [--controller ADDR | --worker ADDR] "
+               "[--name NAME] [--lease-cells N] [--heartbeat-ms N] "
+               "[--lease-timeout-ms N] [--progress-timeout-ms N] "
+               "[--worker-timeout-ms N] "
+               "[--connect-attempts N] [--fault SPEC]\n",
                argv0);
   std::exit(2);
 }
@@ -160,6 +219,39 @@ Cli parse_cli(int argc, char** argv) {
       cli.trace_out = value(i);
     } else if (arg == "--progress") {
       cli.progress = true;
+    } else if (arg == "--controller") {
+      cli.controller = value(i);
+    } else if (arg == "--worker") {
+      cli.worker = value(i);
+    } else if (arg == "--name") {
+      cli.worker_name = value(i);
+    } else if (arg == "--lease-cells") {
+      if (!parse_size(value(i), cli.lease_cells) || cli.lease_cells < 1) {
+        usage(argv[0]);
+      }
+    } else if (arg == "--heartbeat-ms") {
+      if (!parse_size(value(i), cli.heartbeat_ms) || cli.heartbeat_ms < 1) {
+        usage(argv[0]);
+      }
+    } else if (arg == "--lease-timeout-ms") {
+      if (!parse_size(value(i), cli.lease_timeout_ms) ||
+          cli.lease_timeout_ms < 1) {
+        usage(argv[0]);
+      }
+    } else if (arg == "--progress-timeout-ms") {
+      if (!parse_size(value(i), cli.progress_timeout_ms)) {
+        usage(argv[0]);
+      }
+    } else if (arg == "--worker-timeout-ms") {
+      if (!parse_size(value(i), cli.worker_timeout_ms) ||
+          cli.worker_timeout_ms < 1) {
+        usage(argv[0]);
+      }
+    } else if (arg == "--connect-attempts") {
+      cli.connect_attempts = std::atoi(value(i));
+      if (cli.connect_attempts < 1) usage(argv[0]);
+    } else if (arg == "--fault") {
+      cli.fault = value(i);
     } else if (!arg.empty() && arg.front() == '-') {
       std::fprintf(stderr, "sweeprun: unknown flag '%s'\n", arg.c_str());
       usage(argv[0]);
@@ -175,6 +267,19 @@ Cli parse_cli(int argc, char** argv) {
   if (cli.merge && cli.compact) {
     std::fprintf(stderr,
                  "sweeprun: --merge and --compact are mutually exclusive\n");
+    std::exit(2);
+  }
+  if (!cli.controller.empty() && !cli.worker.empty()) {
+    std::fprintf(stderr,
+                 "sweeprun: --controller and --worker are mutually "
+                 "exclusive\n");
+    std::exit(2);
+  }
+  if ((!cli.controller.empty() || !cli.worker.empty()) &&
+      (cli.merge || cli.compact || cli.shard_count > 0)) {
+    std::fprintf(stderr,
+                 "sweeprun: fabric modes do not combine with "
+                 "--merge/--compact/--shard\n");
     std::exit(2);
   }
   if ((!cli.metrics_out.empty() || !cli.trace_out.empty()) &&
@@ -337,10 +442,139 @@ int run_merge(const exp::Manifest& manifest, const Cli& cli,
   return 0;
 }
 
+/// --controller: serve the grid as cell leases, journal results as they
+/// land, render the usual reports once every cell is in.
+int run_controller_mode(const exp::Manifest& manifest, const Cli& cli,
+                        const std::string& fingerprint) {
+  const std::size_t cells = manifest.spec.num_cells();
+
+  // Resume support works exactly like run_sweep's: journaled cells are
+  // never leased again, and newly finished cells append as they arrive —
+  // so a controller crash (or a SIGINT drain) costs only in-flight work.
+  std::map<std::size_t, exp::CellAggregate> resumed;
+  std::unique_ptr<exp::JournalWriter> writer;
+  if (!manifest.outputs.journal.empty()) {
+    if (cli.fresh) {
+      std::remove(manifest.outputs.journal.c_str());
+    }
+    const exp::JournalContents contents =
+        exp::read_journal(manifest.outputs.journal, fingerprint);
+    if (contents.compatible) {
+      for (const auto& [cell, aggregate] : contents.cells) {
+        if (cell < cells) {
+          resumed.emplace(cell, aggregate);
+        }
+      }
+    }
+    writer = std::make_unique<exp::JournalWriter>(
+        manifest.outputs.journal, fingerprint, contents.compatible,
+        contents.valid_bytes);
+  }
+
+  fabric::ControllerConfig config;
+  config.fingerprint = fingerprint;
+  config.num_cells = cells;
+  for (std::size_t c = 0; c < cells; ++c) {
+    if (resumed.find(c) == resumed.end()) {
+      config.todo.push_back(c);
+    }
+  }
+  config.max_lease_cells = cli.lease_cells;
+  config.heartbeat_ms = cli.heartbeat_ms;
+  config.lease_timeout_ms = cli.lease_timeout_ms;
+  config.progress_timeout_ms = cli.progress_timeout_ms;
+  config.worker_timeout_ms = cli.worker_timeout_ms;
+
+  std::printf("controller '%s' on %s: %zu cells (%zu resumed), lease <= "
+              "%zu cells, heartbeat %zu ms\n",
+              manifest.spec.name.c_str(), cli.controller.c_str(), cells,
+              resumed.size(), cli.lease_cells, cli.heartbeat_ms);
+  std::fflush(stdout);
+
+  fabric::ControllerRunResult run;
+  try {
+    run = fabric::run_controller(
+        cli.controller, config,
+        [&writer](const exp::JournalEntry& entry) {
+          if (writer != nullptr) {
+            writer->append(entry);
+          }
+        },
+        &g_cancel);
+  } catch (const exp::SweepCancelled&) {
+    if (writer != nullptr) {
+      writer->sync();
+    }
+    std::fprintf(stderr,
+                 "sweeprun: interrupted; journal flushed and synced — rerun "
+                 "to resume\n");
+    return kInterruptedExit;
+  }
+  if (writer != nullptr) {
+    writer->sync();
+  }
+
+  std::printf("  fabric: %llu workers joined, %llu lost; %llu leases, "
+              "%llu expired; %llu cells reassigned, %llu duplicate "
+              "deliveries\n",
+              static_cast<unsigned long long>(run.stats.workers_joined),
+              static_cast<unsigned long long>(run.stats.workers_lost),
+              static_cast<unsigned long long>(run.stats.leases_granted),
+              static_cast<unsigned long long>(run.stats.leases_expired),
+              static_cast<unsigned long long>(run.stats.cells_reassigned),
+              static_cast<unsigned long long>(run.stats.duplicates));
+
+  std::map<std::size_t, exp::CellAggregate> all = std::move(resumed);
+  for (const auto& [cell, aggregate] : run.cells) {
+    all.emplace(cell, aggregate);
+  }
+  render_reports(exp::assemble_result(manifest.spec, all),
+                 manifest.outputs);
+  return 0;
+}
+
+/// --worker: compute leased cells for a controller serving the same
+/// manifest.
+int run_worker_mode(const exp::Manifest& manifest, const Cli& cli,
+                    const std::string& fingerprint) {
+  fabric::WorkerOptions options;
+  options.address = cli.worker;
+  options.fingerprint = fingerprint;
+  options.name = cli.worker_name;
+  options.want = cli.lease_cells;
+  options.connect_attempts = cli.connect_attempts;
+  options.fault = fabric::parse_fault_plan(cli.fault);
+  options.cancel = &g_cancel;
+  const fabric::WorkerOutcome outcome =
+      fabric::run_worker(manifest.spec, exp::make_hooks(manifest), options);
+  const char* text = "lost";
+  switch (outcome) {
+    case fabric::WorkerOutcome::kDone:
+      text = "done";
+      break;
+    case fabric::WorkerOutcome::kLost:
+      text = "lost";
+      break;
+    case fabric::WorkerOutcome::kRejected:
+      text = "rejected";
+      break;
+    case fabric::WorkerOutcome::kFaultStop:
+      text = "fault-stop";
+      break;
+    case fabric::WorkerOutcome::kCancelled:
+      text = "cancelled";
+      break;
+  }
+  std::fprintf(stderr, "sweeprun: worker '%s' %s\n",
+               cli.worker_name.c_str(), text);
+  return fabric::worker_exit_code(outcome);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli = parse_cli(argc, argv);
+  install_signal_handlers();
   exp::Manifest manifest;
   try {
     manifest = exp::load_manifest(cli.manifest_path);
@@ -391,11 +625,22 @@ int main(int argc, char** argv) {
       if (rc == 0) write_obs_outputs(cli);
       return rc;
     }
+    if (!cli.controller.empty()) {
+      const int rc = run_controller_mode(manifest, cli, fingerprint);
+      if (rc == 0) write_obs_outputs(cli);
+      return rc;
+    }
+    if (!cli.worker.empty()) {
+      const int rc = run_worker_mode(manifest, cli, fingerprint);
+      if (rc == 0) write_obs_outputs(cli);
+      return rc;
+    }
 
     exp::SweepOptions options;
     options.threads = cli.threads;
     options.journal = manifest.outputs.journal;
     options.journal_salt = salt;
+    options.cancel = &g_cancel;
     if (cli.progress) {
       options.on_progress = [&progress_printer](
                                 const exp::SweepProgress& progress) {
@@ -474,6 +719,13 @@ int main(int argc, char** argv) {
     render_reports(result, manifest.outputs);
     write_obs_outputs(cli);
     return 0;
+  } catch (const exp::SweepCancelled&) {
+    // The engine stopped at a round barrier with every finished cell
+    // journaled, flushed and fsynced; a rerun resumes from there.
+    std::fprintf(stderr,
+                 "sweeprun: interrupted; journal flushed and synced — rerun "
+                 "to resume\n");
+    return kInterruptedExit;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "sweeprun: %s\n", error.what());
     return 1;
