@@ -31,15 +31,16 @@ std::vector<trace::TracedJob> make_jobs(PolicyKind policy,
     job.submit_time = 400.0 * static_cast<double>(i);  // no inter-job load
     job.spec = profile.make_job(i, 40);
     job.spec.deadline = 160.0;
-    job.spec.tau_est = 40.0;
-    job.spec.tau_kill = 80.0;
+    auto& stage = job.spec.stage(0);
+    stage.tau_est = 40.0;
+    stage.tau_kill = 80.0;
     trace::PlannerConfig planner;
     planner.theta = kTheta;
     if (trace::has_analytic_strategy(policy)) {
       plan_job(job, policy, planner, prices);
       // plan_job rewrites the taus from factors; restore the absolute ones.
-      job.spec.tau_est = 40.0;
-      job.spec.tau_kill = 80.0;
+      stage.tau_est = 40.0;
+      stage.tau_kill = 80.0;
     }
     jobs.push_back(job);
   }
@@ -57,8 +58,8 @@ int main() {
 
   bench::Table table({"Strategy", "containers", "waves(approx)", "PoCD",
                       "Cost"});
-  for (const PolicyKind policy :
-       {PolicyKind::kClone, PolicyKind::kSRestart, PolicyKind::kSResume}) {
+  for (const char* name : {"clone", "s-restart", "s-resume"}) {
+    const PolicyKind policy = *strategies::policy_from_name(name);
     for (const int containers : {160, 80, 40, 20}) {
       auto jobs = make_jobs(policy, prices);
       trace::ExperimentConfig config;

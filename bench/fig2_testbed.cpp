@@ -44,10 +44,10 @@ constexpr int kDefaultReps = 3;
 core::JobParams analytic_params(const mapreduce::JobSpec& spec,
                                 core::Strategy strategy) {
   core::JobParams params;
-  params.num_tasks = spec.num_tasks;
+  params.num_tasks = spec.stage(0).num_tasks;
   params.deadline = spec.deadline;
-  params.t_min = spec.t_min;
-  params.beta = spec.beta;
+  params.t_min = spec.stage(0).t_min;
+  params.beta = spec.stage(0).beta;
   params.tau_est = strategy == core::Strategy::kClone ? 0.0 : kTauEst;
   params.tau_kill = kTauKill;
   params.phi_est = core::default_phi_est(params);
@@ -64,8 +64,8 @@ std::vector<trace::TracedJob> make_jobs(const trace::WorkloadProfile& profile,
     // One job every ~72 s: a lightly loaded testbed, as in the experiments.
     job.submit_time = 72.0 * static_cast<double>(i);
     job.spec = profile.make_job(i, kTasksPerJob);
-    job.spec.tau_est = kTauEst;
-    job.spec.tau_kill = kTauKill;
+    job.spec.stage(0).tau_est = kTauEst;
+    job.spec.stage(0).tau_kill = kTauKill;
     job.spec.price = prices.price_at(job.submit_time);
     if (trace::has_analytic_strategy(policy)) {
       const auto strategy = trace::analytic_strategy(policy);
@@ -75,7 +75,7 @@ std::vector<trace::TracedJob> make_jobs(const trace::WorkloadProfile& profile,
       econ.theta = kTheta;
       econ.r_min = core::pocd_no_speculation(params);
       const auto result = core::optimize(strategy, params, econ);
-      job.spec.r = result.feasible ? result.r_opt : 1;
+      job.spec.stage(0).r = result.feasible ? result.r_opt : 1;
     }
     jobs.push_back(job);
   }

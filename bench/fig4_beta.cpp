@@ -43,10 +43,10 @@ double mean_baseline_pocd(const std::vector<trace::TracedJob>& jobs) {
   double sum = 0.0;
   for (const auto& job : jobs) {
     core::JobParams params;
-    params.num_tasks = job.spec.num_tasks;
+    params.num_tasks = job.spec.stage(0).num_tasks;
     params.deadline = job.spec.deadline;
-    params.t_min = job.spec.t_min;
-    params.beta = job.spec.beta;
+    params.t_min = job.spec.stage(0).t_min;
+    params.beta = job.spec.stage(0).beta;
     sum += core::pocd_no_speculation(params);
   }
   return sum / static_cast<double>(jobs.size());

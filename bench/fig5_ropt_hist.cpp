@@ -50,8 +50,8 @@ int main() {
     auto jobs = base_jobs;
     for (auto& job : jobs) {
       plan_job(job, series[s].policy, planner, prices);
-      histograms[s].add(job.spec.r);
-      max_r = std::max(max_r, job.spec.r);
+      histograms[s].add(job.spec.stage(0).r);
+      max_r = std::max(max_r, job.spec.stage(0).r);
     }
   }
 

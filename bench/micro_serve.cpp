@@ -13,6 +13,7 @@
 #include "serve/plan_cache.h"
 #include "serve/planner.h"
 #include "strategies/policies.h"
+#include "trace/planner.h"
 
 namespace {
 
@@ -34,9 +35,9 @@ struct RequestPool {
     prices.reserve(kPoolSize);
     for (std::size_t i = 0; i < kPoolSize; ++i) {
       chronos::mapreduce::JobSpec spec;
-      spec.num_tasks = 20 + static_cast<int>(i % 7) * 20;
-      spec.t_min = 20.0 + static_cast<double>(i % 5) + jitter;
-      spec.beta = 1.5 + 0.05 * static_cast<double>(i % 4) + jitter;
+      spec.stage(0).num_tasks = 20 + static_cast<int>(i % 7) * 20;
+      spec.stage(0).t_min = 20.0 + static_cast<double>(i % 5) + jitter;
+      spec.stage(0).beta = 1.5 + 0.05 * static_cast<double>(i % 4) + jitter;
       spec.deadline = 150.0 + 10.0 * static_cast<double>(i % 8) + jitter;
       specs.push_back(spec);
       prices.push_back(0.3 + 0.01 * static_cast<double>(i % 6) + jitter);
@@ -108,6 +109,30 @@ void BM_PlansPerSecondWarmQuantized(benchmark::State& state) {
   drive(state, service, jittered);
 }
 BENCHMARK(BM_PlansPerSecondWarmQuantized);
+
+// Full staged planning on a 3-stage chain: critical-path deadline split
+// plus one Algorithm-1 run per stage, with SharedAnalytics reused across
+// the two same-shape reduce stages. The staged analogue of
+// BM_PlansPerSecondCold.
+void BM_StagedJobPlan(benchmark::State& state) {
+  chronos::mapreduce::JobSpec proto;
+  proto.stage(0).num_tasks = 40;
+  proto.stage(0).t_min = 25.0;
+  proto.stage(0).beta = 1.4;
+  proto.deadline = 900.0;
+  proto.add_reduce_stage(/*reduce_tasks=*/10, /*reduce_t_min=*/45.0,
+                         /*reduce_beta=*/1.7);
+  proto.add_reduce_stage(/*reduce_tasks=*/10, /*reduce_t_min=*/45.0,
+                         /*reduce_beta=*/1.7);
+  const chronos::trace::PlannerConfig planner;
+  for (auto _ : state) {
+    auto spec = proto;
+    benchmark::DoNotOptimize(chronos::trace::plan_staged_spec(
+        spec, chronos::strategies::PolicyKind::kSResume, planner, 0.4));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StagedJobPlan);
 
 }  // namespace
 

@@ -51,13 +51,13 @@ BENCHMARK(BM_EventQueueCancelHalf)->Arg(10000);
 
 mapreduce::JobSpec bench_job(int tasks) {
   mapreduce::JobSpec spec;
-  spec.num_tasks = tasks;
+  spec.stage(0).num_tasks = tasks;
   spec.deadline = 180.0;
-  spec.t_min = 30.0;
-  spec.beta = 1.5;
-  spec.tau_est = 40.0;
-  spec.tau_kill = 80.0;
-  spec.r = 2;
+  spec.stage(0).t_min = 30.0;
+  spec.stage(0).beta = 1.5;
+  spec.stage(0).tau_est = 40.0;
+  spec.stage(0).tau_kill = 80.0;
+  spec.stage(0).r = 2;
   return spec;
 }
 
@@ -145,6 +145,41 @@ void BM_OpenSystemEventsPerSec(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_OpenSystemEventsPerSec)->Unit(benchmark::kMillisecond);
+
+void BM_OpenSystemStagedEventsPerSec(benchmark::State& state) {
+  // The same open-system hot path with every arrival extended into a
+  // 3-stage DAG (chain + fan-in from the root): measures the cost of the
+  // barrier bookkeeping, per-stage samplers, and multi-stage planning
+  // relative to BM_OpenSystemEventsPerSec.
+  sim::OpenSystemConfig config;
+  config.arrivals.kind = trace::ArrivalKind::kPoisson;
+  config.arrivals.rate = 0.6;
+  config.workload.mean_tasks = 20.0;
+  config.workload.max_tasks = 64;
+  config.workload.t_min_lo = 2.0;
+  config.workload.t_min_hi = 8.0;
+  config.workload.extra_stages = {
+      mapreduce::StageSpec{8, 4.0, 1.6, 0.0, 0.0, 0, {}},
+      mapreduce::StageSpec{4, 3.0, 1.5, 0.0, 0.0, 0, {0, 1}},
+  };
+  config.policy = strategies::PolicyKind::kSResume;
+  config.planner.r_min_from_baseline = false;
+  sim::NodeConfig node;
+  node.containers = 16;
+  config.cluster = sim::ClusterConfig::uniform(16, node);
+  config.duration = 1000.0;
+  config.warm_up = 100.0;
+  std::uint64_t seed = 1;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    config.seed = seed++;
+    const auto result = sim::run_open_system(config);
+    benchmark::DoNotOptimize(result.utilization);
+    events += result.events_executed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_OpenSystemStagedEventsPerSec)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

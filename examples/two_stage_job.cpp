@@ -2,7 +2,7 @@
 // phases. §III of the paper notes the analysis applies per stage ("PoCD for
 // map and reduce stages can be optimized separately"); the planner splits
 // the job deadline across the stages in proportion to their expected
-// makespans and runs Algorithm 1 once per stage.
+// makespans on the critical path and runs Algorithm 1 once per stage.
 //
 //   ./two_stage_job [deadline] [strategy]
 #include <cstdio>
@@ -17,12 +17,6 @@
 namespace {
 
 using namespace chronos;  // NOLINT
-
-strategies::PolicyKind parse(const std::string& name) {
-  if (name == "clone") return strategies::PolicyKind::kClone;
-  if (name == "s-restart") return strategies::PolicyKind::kSRestart;
-  return strategies::PolicyKind::kSResume;
-}
 
 double run_once(const mapreduce::JobSpec& spec, strategies::PolicyKind kind,
                 std::uint64_t seed, bool& met) {
@@ -44,37 +38,46 @@ double run_once(const mapreduce::JobSpec& spec, strategies::PolicyKind kind,
 
 int main(int argc, char** argv) {
   const double deadline = argc > 1 ? std::atof(argv[1]) : 500.0;
-  const auto kind = parse(argc > 2 ? argv[2] : "s-resume");
+  const std::string name = argc > 2 ? argv[2] : "s-resume";
+  const auto parsed = strategies::policy_from_name(name);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "unknown strategy '%s'\n", name.c_str());
+    return 1;
+  }
+  const strategies::PolicyKind kind = *parsed;
 
   trace::TracedJob job;
-  job.spec.num_tasks = 40;       // map phase: 40 splits
-  job.spec.reduce_tasks = 10;    // reduce phase: 10 partitions
-  job.spec.t_min = 25.0;
-  job.spec.beta = 1.4;
-  job.spec.reduce_t_min = 45.0;  // reducers are longer but less variable
-  job.spec.reduce_beta = 1.7;
-  job.spec.reduce_r = -1;
+  job.spec.stage(0).num_tasks = 40;  // map phase: 40 splits
+  job.spec.stage(0).t_min = 25.0;
+  job.spec.stage(0).beta = 1.4;
+  // Reduce phase: 10 partitions, longer but less variable tasks. The
+  // default barrier chain makes it wait for the whole map stage (shuffle).
+  job.spec.add_reduce_stage(/*reduce_tasks=*/10, /*reduce_t_min=*/45.0,
+                            /*reduce_beta=*/1.7);
   job.spec.deadline = deadline;
   job.spec.jvm_mean = 2.0;
   job.spec.jvm_jitter = 1.0;
 
   trace::PlannerConfig planner;
   const trace::SpotPriceModel prices;
-  const auto plan = trace::plan_two_stage_job(job, kind, planner, prices);
+  const auto plan = trace::plan_staged_job(job, kind, planner, prices);
 
+  // Bind stage views only now: add_reduce_stage grows the stage vector,
+  // so references taken before it would dangle.
+  const auto& map = job.spec.stage(0);
+  const auto& reduce = job.spec.stage(1);
   std::printf("Two-stage job: %d map + %d reduce tasks, deadline %.0f s\n",
-              job.spec.num_tasks, job.spec.reduce_tasks, deadline);
+              map.num_tasks, reduce.num_tasks, deadline);
   std::printf("Deadline split: map %.1f s / reduce %.1f s "
               "(expected makespans %.1f / %.1f)\n",
-              plan.map_deadline, plan.reduce_deadline,
-              trace::expected_stage_makespan(job.spec.num_tasks,
-                                             job.spec.t_min, job.spec.beta),
-              trace::expected_stage_makespan(
-                  job.spec.reduce_tasks, job.spec.effective_reduce_t_min(),
-                  job.spec.effective_reduce_beta()));
+              plan.stage_deadlines[0], plan.stage_deadlines[1],
+              trace::expected_stage_makespan(map.num_tasks, map.t_min,
+                                             map.beta),
+              trace::expected_stage_makespan(reduce.num_tasks, reduce.t_min,
+                                             reduce.beta));
   std::printf("Planned r: map %lld (PoCD %.4f), reduce %lld (PoCD %.4f)\n\n",
-              job.spec.r, plan.map.best.pocd, job.spec.effective_reduce_r(),
-              plan.reduce.best.pocd);
+              map.r, plan.stages[0].best.pocd, reduce.r,
+              plan.stages[1].best.pocd);
 
   int met_count = 0;
   double machine_sum = 0.0;
@@ -97,8 +100,9 @@ int main(int argc, char** argv) {
   for (int i = 0; i < runs; ++i) {
     bool met = false;
     auto spec = job.spec;
-    spec.r = 0;
-    spec.reduce_r = 0;
+    for (auto& stage : spec.stages) {
+      stage.r = 0;
+    }
     base_machine += run_once(spec, strategies::PolicyKind::kHadoopNS,
                              static_cast<std::uint64_t>(i), met);
     base_met += met ? 1 : 0;

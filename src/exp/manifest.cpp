@@ -336,13 +336,33 @@ double mean_baseline_pocd(const std::vector<trace::TracedJob>& jobs) {
   double sum = 0.0;
   for (const auto& job : jobs) {
     core::JobParams params;
-    params.num_tasks = job.spec.num_tasks;
+    params.num_tasks = job.spec.stage(0).num_tasks;
     params.deadline = job.spec.deadline;
-    params.t_min = job.spec.t_min;
-    params.beta = job.spec.beta;
+    params.t_min = job.spec.stage(0).t_min;
+    params.beta = job.spec.stage(0).beta;
     sum += core::pocd_no_speculation(params);
   }
   return sum / static_cast<double>(jobs.size());
+}
+
+/// Resolves the manifest's [stage.N] templates against one cell's axis
+/// coordinates into concrete StageSpecs for TraceConfig::extra_stages.
+std::vector<mapreduce::StageSpec> resolve_stages(
+    const std::vector<ManifestStage>& stages, const SweepPoint& point) {
+  std::vector<mapreduce::StageSpec> resolved;
+  resolved.reserve(stages.size());
+  for (const ManifestStage& stage : stages) {
+    mapreduce::StageSpec st;
+    const long long tasks = std::llround(stage.tasks.resolve(point));
+    CHRONOS_EXPECTS(tasks >= 1 && tasks <= (1 << 20),
+                    "stage tasks must resolve to [1, 2^20]");
+    st.num_tasks = static_cast<int>(tasks);
+    st.t_min = stage.t_min.resolve(point);
+    st.beta = stage.beta.resolve(point);
+    st.deps = stage.deps;
+    resolved.push_back(std::move(st));
+  }
+  return resolved;
 }
 
 }  // namespace
@@ -446,6 +466,70 @@ Manifest parse_manifest(const std::string& text) {
     manifest.trace_beta = optional_binding(reader, "beta", manifest.spec);
     manifest.trace_deadline_factor =
         optional_binding(reader, "deadline_factor", manifest.spec);
+  }
+
+  // [stage.N] templates: N must run 1, 2, ... without gaps (stage 0 is the
+  // sampled root stage and has no section).
+  {
+    int next = 1;
+    for (IniSection& section : sections) {
+      if (section.name.rfind("stage.", 0) != 0) {
+        continue;
+      }
+      const std::string suffix = section.name.substr(6);
+      int number = 0;
+      const auto result = std::from_chars(
+          suffix.data(), suffix.data() + suffix.size(), number);
+      if (suffix.empty() || result.ec != std::errc() ||
+          result.ptr != suffix.data() + suffix.size()) {
+        fail(section.line, "stage section needs a number: [stage.<N>]");
+      }
+      if (number != next) {
+        fail(section.line, "stage sections must be contiguous from 1: "
+                           "expected [stage." + std::to_string(next) +
+                           "], got [stage." + suffix + "]");
+      }
+      const SectionReader reader(&section);
+      ManifestStage stage;
+      stage.tasks = parse_binding(reader.require("tasks"), manifest.spec);
+      if (!stage.tasks.bound() &&
+          !(std::isfinite(stage.tasks.fixed) && stage.tasks.fixed >= 1.0)) {
+        fail(section.line, "stage tasks must be >= 1");
+      }
+      stage.t_min = parse_binding(reader.require("t_min"), manifest.spec);
+      if (!stage.t_min.bound() &&
+          !(std::isfinite(stage.t_min.fixed) && stage.t_min.fixed > 0.0)) {
+        fail(section.line, "stage t_min must be positive and finite");
+      }
+      stage.beta = parse_binding(reader.require("beta"), manifest.spec);
+      if (!stage.beta.bound() &&
+          !(std::isfinite(stage.beta.fixed) && stage.beta.fixed > 1.0)) {
+        fail(section.line, "stage beta must exceed 1 (finite mean)");
+      }
+      if (const IniEntry* deps = reader.find("deps")) {
+        for (const std::string& item : split_list(deps->value, deps->line)) {
+          int dep = 0;
+          const auto parsed = std::from_chars(
+              item.data(), item.data() + item.size(), dep);
+          if (item.empty() || parsed.ec != std::errc() ||
+              parsed.ptr != item.data() + item.size()) {
+            fail(deps->line, "stage dep '" + item + "' is not an integer");
+          }
+          if (dep < 0 || dep >= number) {
+            fail(deps->line, "stage dep " + item + " must reference an "
+                             "earlier stage (0.." +
+                             std::to_string(number - 1) + ")");
+          }
+          if (std::find(stage.deps.begin(), stage.deps.end(), dep) !=
+              stage.deps.end()) {
+            fail(deps->line, "duplicate stage dep " + item);
+          }
+          stage.deps.push_back(dep);
+        }
+      }
+      manifest.stages.push_back(std::move(stage));
+      ++next;
+    }
   }
 
   {
@@ -585,6 +669,26 @@ Manifest parse_manifest(const std::string& text) {
         fail(section->line, "containers must lie in [1, 2^20]");
       }
       arrivals.containers = static_cast<int>(containers);
+      arrivals.slow_fraction =
+          optional_binding(reader, "slow_fraction", manifest.spec);
+      if (arrivals.slow_fraction.has_value()) {
+        if (!arrivals.nodes.has_value()) {
+          fail(section->line,
+               "slow_fraction needs an explicit cluster: set nodes too");
+        }
+        if (!arrivals.slow_fraction->bound() &&
+            !(std::isfinite(arrivals.slow_fraction->fixed) &&
+              arrivals.slow_fraction->fixed >= 0.0 &&
+              arrivals.slow_fraction->fixed <= 1.0)) {
+          fail(section->line, "slow_fraction must lie in [0, 1]");
+        }
+      }
+      arrivals.slow_speed =
+          reader.get_double("slow_speed", arrivals.slow_speed);
+      if (!(std::isfinite(arrivals.slow_speed) &&
+            arrivals.slow_speed > 0.0)) {
+        fail(section->line, "slow_speed must be positive and finite");
+      }
       // Validate the non-rate fields now so a bad manifest fails at parse
       // time; a bound rate is validated per cell at run time.
       {
@@ -699,6 +803,28 @@ std::string manifest_journal_salt(const Manifest& manifest) {
   };
   append_binding("beta", manifest.trace_beta);
   append_binding("deadline_factor", manifest.trace_deadline_factor);
+  // Stage templates enter the fingerprint only when present: single-stage
+  // manifests keep their historical salt (and thus their journals).
+  const auto encode_binding = [](const Binding& binding) {
+    return binding.bound() ? "@" + binding.axis
+                           : numeric::format_double(binding.fixed);
+  };
+  for (std::size_t i = 0; i < manifest.stages.size(); ++i) {
+    const ManifestStage& stage = manifest.stages[i];
+    salt += ";stage";
+    salt += std::to_string(i + 1);
+    salt += '=';
+    salt += encode_binding(stage.tasks);
+    salt += ',';
+    salt += encode_binding(stage.t_min);
+    salt += ',';
+    salt += encode_binding(stage.beta);
+    salt += ",deps:";
+    for (const int dep : stage.deps) {
+      salt += std::to_string(dep);
+      salt += '.';
+    }
+  }
   append_binding("theta", std::optional<Binding>(manifest.planner_theta));
   append_binding("tau_est_factor", manifest.planner_tau_est_factor);
   append_binding("tau_kill_factor", manifest.planner_tau_kill_factor);
@@ -752,6 +878,19 @@ std::string manifest_journal_salt(const Manifest& manifest) {
     }
     salt += ',';
     salt += std::to_string(a.containers);
+    // Speed classes enter the fingerprint only when set — like the plan
+    // cache below, the homogeneous default keeps the historical salt.
+    if (a.slow_fraction.has_value()) {
+      salt += ",slow_fraction=";
+      if (a.slow_fraction->bound()) {
+        salt += '@';
+        salt += a.slow_fraction->axis;
+      } else {
+        salt += numeric::format_double(a.slow_fraction->fixed);
+      }
+      salt += ",slow_speed=";
+      salt += numeric::format_double(a.slow_speed);
+    }
     // The plan cache enters the fingerprint only when it is on: off is the
     // historical behavior, so pre-existing journals stay valid.
     if (a.plan_cache.mode != serve::CacheMode::kOff) {
@@ -809,6 +948,7 @@ SweepHooks make_hooks(const Manifest& manifest) {
       config.deadline_factor_lo = factor;
       config.deadline_factor_hi = factor;
     }
+    config.extra_stages = resolve_stages(m->stages, point);
     auto jobs = generate_trace(config);
 
     SharedCell shared;
@@ -858,6 +998,7 @@ SweepHooks make_hooks(const Manifest& manifest) {
         open->workload.deadline_factor_lo = factor;
         open->workload.deadline_factor_hi = factor;
       }
+      open->workload.extra_stages = resolve_stages(m->stages, point);
       open->planner.theta = m->planner_theta.resolve(point);
       if (m->planner_tau_est_factor.has_value()) {
         open->planner.tau_est_factor =
@@ -880,6 +1021,18 @@ SweepHooks make_hooks(const Manifest& manifest) {
         node.containers = a.containers;
         open->cluster =
             sim::ClusterConfig::uniform(static_cast<int>(nodes), node);
+        if (a.slow_fraction.has_value()) {
+          const double fraction = a.slow_fraction->resolve(point);
+          CHRONOS_EXPECTS(
+              std::isfinite(fraction) && fraction >= 0.0 && fraction <= 1.0,
+              "slow_fraction must resolve to [0, 1]");
+          const auto slow = static_cast<int>(
+              std::llround(fraction * static_cast<double>(nodes)));
+          for (int i = 0; i < slow; ++i) {
+            open->cluster.nodes[static_cast<std::size_t>(i)].speed =
+                a.slow_speed;
+          }
+        }
         open->scheduler.noise = mapreduce::ProgressNoiseConfig::realistic();
         open->scheduler.estimator = mapreduce::EstimatorKind::kChronos;
       } else {

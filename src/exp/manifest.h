@@ -46,6 +46,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "exp/sweep.h"
 #include "serve/plan_cache.h"
@@ -103,6 +104,8 @@ struct ManifestOutputs {
 ///   reject_queue_factor = 4.0
 ///   nodes = @nodes          # bindable; uniform cluster of `containers`
 ///   containers = 8          #   per node (defaults to the preset cluster)
+///   slow_fraction = 0.25    # optional speed-class axis: this fraction of
+///   slow_speed = 0.5        #   the nodes runs at slow_speed (needs nodes)
 ///
 /// With [arrivals], `r_min = baseline` is rejected: the baseline PoCD of a
 /// pre-generated trace is a closed-system property; utility sweeps must
@@ -121,6 +124,31 @@ struct ManifestArrivals {
   double reject_queue_factor = 4.0;
   std::optional<Binding> nodes;  ///< unset = preset cluster
   int containers = 8;
+
+  /// Optional speed-class split of the explicit cluster: the first
+  /// round(slow_fraction * nodes) nodes run at slow_speed, the rest at 1.0.
+  /// Requires `nodes`; slow_fraction is axis-bindable so a sweep can walk
+  /// the heterogeneity axis.
+  std::optional<Binding> slow_fraction;
+  double slow_speed = 0.5;
+};
+
+/// One [stage.N] section (N = 1, 2, ... contiguous): a deterministic stage
+/// template appended after the sampled root stage, so every job of the cell
+/// becomes an (N+1)-stage DAG. Shape fields are axis-bindable; `deps` lists
+/// predecessor stage indices in final job numbering (0 = the sampled root),
+/// empty meaning a barrier on the previous stage.
+///
+///   [stage.1]
+///   tasks = 4
+///   t_min = @t_min_reduce
+///   beta = 1.6
+///   deps = 0
+struct ManifestStage {
+  Binding tasks{.fixed = 1.0, .axis = {}};
+  Binding t_min{.fixed = 1.0, .axis = {}};
+  Binding beta{.fixed = 1.5, .axis = {}};
+  std::vector<int> deps;
 };
 
 /// Optional [shard] section: defaults for process-level sharding, so a
@@ -141,6 +169,10 @@ struct Manifest {
   trace::TraceConfig trace;  ///< fixed trace-template fields
   std::optional<Binding> trace_beta;  ///< sets beta_lo = beta_hi per cell
   std::optional<Binding> trace_deadline_factor;  ///< sets factor lo = hi
+
+  /// [stage.N] templates, in section order (stages[0] is [stage.1], the
+  /// job's stage 1). Empty = single-stage jobs (the historical workload).
+  std::vector<ManifestStage> stages;
 
   Binding planner_theta{.fixed = 1e-4, .axis = {}};
   std::optional<Binding> planner_tau_est_factor;

@@ -1,33 +1,57 @@
 #include "mapreduce/job.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/error.h"
 
 namespace chronos::mapreduce {
 
+void JobSpec::add_reduce_stage(int reduce_tasks, double reduce_t_min,
+                               double reduce_beta, long long reduce_r,
+                               double reduce_tau_est, double reduce_tau_kill) {
+  CHRONOS_EXPECTS(!stages.empty(),
+                  "JobSpec: add_reduce_stage needs an existing map stage");
+  const StageSpec& map = stages.front();
+  StageSpec reduce;
+  reduce.num_tasks = reduce_tasks;
+  reduce.t_min = reduce_t_min > 0.0 ? reduce_t_min : map.t_min;
+  reduce.beta = reduce_beta > 0.0 ? reduce_beta : map.beta;
+  reduce.r = reduce_r >= 0 ? reduce_r : map.r;
+  reduce.tau_est = reduce_tau_est >= 0.0 ? reduce_tau_est : map.tau_est;
+  reduce.tau_kill = reduce_tau_kill >= 0.0 ? reduce_tau_kill : map.tau_kill;
+  // deps left empty: the barrier-chain default makes the new stage wait on
+  // the previous one, which is exactly the historical shuffle barrier.
+  stages.push_back(std::move(reduce));
+}
+
 void JobSpec::validate() const {
-  CHRONOS_EXPECTS(num_tasks >= 1, "JobSpec: num_tasks must be >= 1");
-  CHRONOS_EXPECTS(t_min > 0.0, "JobSpec: t_min must be positive");
-  CHRONOS_EXPECTS(beta > 0.0, "JobSpec: beta must be positive");
   CHRONOS_EXPECTS(deadline > 0.0, "JobSpec: deadline must be positive");
-  CHRONOS_EXPECTS(tau_est >= 0.0, "JobSpec: tau_est must be non-negative");
-  CHRONOS_EXPECTS(tau_kill >= tau_est, "JobSpec: tau_kill must be >= tau_est");
-  CHRONOS_EXPECTS(r >= 0, "JobSpec: r must be non-negative");
   CHRONOS_EXPECTS(price >= 0.0, "JobSpec: price must be non-negative");
   CHRONOS_EXPECTS(jvm_mean >= 0.0, "JobSpec: jvm_mean must be non-negative");
   CHRONOS_EXPECTS(jvm_jitter >= 0.0 && jvm_jitter <= jvm_mean + 1e-12,
                   "JobSpec: jvm_jitter must lie in [0, jvm_mean]");
-  CHRONOS_EXPECTS(reduce_tasks >= 0,
-                  "JobSpec: reduce_tasks must be non-negative");
-  if (reduce_tasks > 0) {
-    CHRONOS_EXPECTS(effective_reduce_t_min() > 0.0,
-                    "JobSpec: reduce t_min must be positive");
-    CHRONOS_EXPECTS(effective_reduce_beta() > 0.0,
-                    "JobSpec: reduce beta must be positive");
-    CHRONOS_EXPECTS(
-        effective_reduce_tau_kill() >= effective_reduce_tau_est(),
-        "JobSpec: reduce tau_kill must be >= reduce tau_est");
+  CHRONOS_EXPECTS(!stages.empty(), "JobSpec: job needs at least one stage");
+  for (int s = 0; s < num_stages(); ++s) {
+    const StageSpec& st = stage(s);
+    CHRONOS_EXPECTS(st.num_tasks >= 1, "StageSpec: num_tasks must be >= 1");
+    CHRONOS_EXPECTS(st.t_min > 0.0, "StageSpec: t_min must be positive");
+    CHRONOS_EXPECTS(st.beta > 0.0, "StageSpec: beta must be positive");
+    CHRONOS_EXPECTS(st.tau_est >= 0.0,
+                    "StageSpec: tau_est must be non-negative");
+    CHRONOS_EXPECTS(st.tau_kill >= st.tau_est,
+                    "StageSpec: tau_kill must be >= tau_est");
+    CHRONOS_EXPECTS(st.r >= 0, "StageSpec: r must be non-negative");
+    // Deps must reference strictly earlier stages (so the stage index order
+    // is a topological order by construction) and must not repeat.
+    for (std::size_t i = 0; i < st.deps.size(); ++i) {
+      CHRONOS_EXPECTS(st.deps[i] >= 0 && st.deps[i] < s,
+                      "StageSpec: deps must reference earlier stages");
+      for (std::size_t j = 0; j < i; ++j) {
+        CHRONOS_EXPECTS(st.deps[j] != st.deps[i],
+                        "StageSpec: deps must not repeat");
+      }
+    }
   }
 }
 

@@ -4,55 +4,113 @@
 // tasks for a submitted job, asks the cluster (RM) for containers, launches
 // attempts in them (paying a JVM startup delay), monitors progress scores,
 // and kills or speculates attempts per the active strategy.
+//
+// Jobs are staged DAGs: a JobSpec carries one StageSpec per stage (the
+// paper's §III analysis is explicitly per-stage — "PoCD for map and reduce
+// stages can be optimized separately"), and a stage launches only when all
+// of its predecessor stages have completed. The default dependency shape is
+// the barrier chain (stage s waits on stage s-1), which reproduces the
+// classic map -> shuffle -> reduce semantics; explicit dependency lists
+// enable fan-in / fan-out pipelines.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event_queue.h"
 
 namespace chronos::mapreduce {
 
-/// Static description of one job, produced by the workload/trace generators.
-struct JobSpec {
-  int job_id = 0;
+/// One stage of a job: a bag of identical tasks under one Pareto duration
+/// law, with its own speculation plan. Timer fields are relative to the
+/// stage's start (for stage 0 that is the job submission).
+struct StageSpec {
   int num_tasks = 1;
-  double deadline = 0.0;    ///< relative to job submission
   double t_min = 1.0;       ///< Pareto scale of attempt execution time
   double beta = 1.5;        ///< Pareto tail index of attempt execution time
   double tau_est = 0.0;     ///< straggler-detection time (Chronos strategies)
   double tau_kill = 0.0;    ///< kill time (Chronos strategies)
   long long r = 0;          ///< extra attempts chosen by the optimizer
+
+  /// Predecessor stage indices. Empty = the default barrier chain: stage 0
+  /// is a root, stage s depends on stage s-1 (today's shuffle barrier).
+  /// Explicit lists enable fan-in / fan-out DAGs; every entry must name an
+  /// earlier stage, so stage order is a topological order by construction.
+  std::vector<int> deps;
+
+  friend bool operator==(const StageSpec&, const StageSpec&) = default;
+};
+
+/// Static description of one job, produced by the workload/trace generators.
+struct JobSpec {
+  int job_id = 0;
+  double deadline = 0.0;    ///< whole-DAG deadline, relative to submission
   double price = 1.0;       ///< VM price per machine-second at submission
   double jvm_mean = 0.0;    ///< mean JVM startup delay (0 = instant)
   double jvm_jitter = 0.0;  ///< +- uniform jitter around jvm_mean
 
-  // Optional reduce stage (the paper optimizes map and reduce separately;
-  // §III analyses one stage at a time). Reduce tasks launch when every map
-  // task has completed (shuffle barrier).
-  int reduce_tasks = 0;         ///< 0 = map-only job
-  double reduce_t_min = 0.0;    ///< 0 = inherit t_min
-  double reduce_beta = 0.0;     ///< 0 = inherit beta
-  long long reduce_r = -1;      ///< -1 = inherit r
-  double reduce_tau_est = -1.0;   ///< -1 = inherit; relative to stage start
-  double reduce_tau_kill = -1.0;  ///< -1 = inherit; relative to stage start
+  /// The stage vector — the single source of truth for the job's shape.
+  /// Defaults to one map stage; every consumer resolves stages through the
+  /// accessors below (there is no parallel scalar view to fall out of sync).
+  std::vector<StageSpec> stages = {StageSpec{}};
 
-  /// Effective reduce-stage parameters after inheritance.
-  double effective_reduce_t_min() const {
-    return reduce_t_min > 0.0 ? reduce_t_min : t_min;
-  }
-  double effective_reduce_beta() const {
-    return reduce_beta > 0.0 ? reduce_beta : beta;
-  }
-  long long effective_reduce_r() const { return reduce_r >= 0 ? reduce_r : r; }
-  double effective_reduce_tau_est() const {
-    return reduce_tau_est >= 0.0 ? reduce_tau_est : tau_est;
-  }
-  double effective_reduce_tau_kill() const {
-    return reduce_tau_kill >= 0.0 ? reduce_tau_kill : tau_kill;
+  int num_stages() const { return static_cast<int>(stages.size()); }
+
+  StageSpec& stage(int s) { return stages[static_cast<std::size_t>(s)]; }
+  const StageSpec& stage(int s) const {
+    return stages[static_cast<std::size_t>(s)];
   }
 
-  int total_tasks() const { return num_tasks + reduce_tasks; }
+  int total_tasks() const {
+    int total = 0;
+    for (const StageSpec& st : stages) {
+      total += st.num_tasks;
+    }
+    return total;
+  }
+
+  /// Task-index offset of stage `s`: tasks are laid out stage-major, so
+  /// stage s owns [first_task(s), first_task(s) + stage(s).num_tasks).
+  int first_task(int s) const {
+    int offset = 0;
+    for (int i = 0; i < s; ++i) {
+      offset += stage(i).num_tasks;
+    }
+    return offset;
+  }
+
+  /// Stage that owns task index `task`.
+  int stage_of_task(int task) const {
+    int s = 0;
+    while (task >= stage(s).num_tasks) {
+      task -= stage(s).num_tasks;
+      ++s;
+    }
+    return s;
+  }
+
+  /// The stage's predecessors with the barrier-chain default applied:
+  /// explicit deps when given, otherwise {s - 1} (and {} for stage 0).
+  std::vector<int> resolved_deps(int s) const {
+    if (!stage(s).deps.empty()) {
+      return stage(s).deps;
+    }
+    if (s == 0) {
+      return {};
+    }
+    return {s - 1};
+  }
+
+  /// Legacy map+optional-reduce constructor: appends a reduce stage behind
+  /// the shuffle barrier, resolving the historical inheritance sentinels
+  /// (0 = inherit t_min/beta from the map stage, -1 = inherit r/taus) at
+  /// construction time. Thin shim onto the staged form — after this call
+  /// the job is an ordinary two-stage chain.
+  void add_reduce_stage(int reduce_tasks, double reduce_t_min = 0.0,
+                        double reduce_beta = 0.0, long long reduce_r = -1,
+                        double reduce_tau_est = -1.0,
+                        double reduce_tau_kill = -1.0);
 
   void validate() const;
 };
@@ -102,7 +160,7 @@ struct AttemptRecord {
   }
 };
 
-/// One map task (one input split).
+/// One task (one input split).
 struct TaskRecord {
   std::vector<int> attempt_ids;
   bool completed = false;
@@ -115,12 +173,16 @@ struct TaskRecord {
 struct JobRecord {
   JobSpec spec;
   double submit_time = 0.0;
-  std::vector<TaskRecord> tasks;  ///< map tasks first, then reduce tasks
+  std::vector<TaskRecord> tasks;  ///< stage-major: stage 0's tasks first
   std::vector<AttemptRecord> attempts;
   int tasks_completed = 0;
   bool done = false;
-  bool reduce_started = false;
-  double reduce_stage_start = 0.0;  ///< valid once reduce_started
+
+  // Per-stage runtime state, parallel to spec.stages.
+  std::vector<std::uint8_t> stage_started;
+  std::vector<double> stage_start_time;  ///< absolute; valid once started
+  std::vector<int> stage_tasks_completed;
+
   double completion_time = 0.0;  ///< relative to submission
   double machine_time = 0.0;     ///< accrued VM seconds
   int attempts_launched = 0;
@@ -131,15 +193,12 @@ struct JobRecord {
     return tasks_completed == static_cast<int>(tasks.size());
   }
 
-  /// True when `task` indexes into the reduce stage.
-  bool is_reduce_task(int task) const { return task >= spec.num_tasks; }
+  /// Stage that owns `task` (delegates to the spec's stage-major layout).
+  int stage_of_task(int task) const { return spec.stage_of_task(task); }
 
-  int map_tasks_completed() const {
-    int count = 0;
-    for (int t = 0; t < spec.num_tasks; ++t) {
-      count += tasks[static_cast<std::size_t>(t)].completed ? 1 : 0;
-    }
-    return count;
+  bool stage_done(int s) const {
+    return stage_tasks_completed[static_cast<std::size_t>(s)] ==
+           spec.stage(s).num_tasks;
   }
 };
 

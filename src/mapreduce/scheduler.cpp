@@ -50,56 +50,73 @@ int Scheduler::submit(const JobSpec& spec) {
   JobRecord record;
   record.spec = spec;
   record.submit_time = simulator_.now();
-  // Map tasks occupy [0, num_tasks); reduce tasks [num_tasks, total).
+  // Tasks are laid out stage-major: stage s owns
+  // [first_task(s), first_task(s) + stage(s).num_tasks).
   record.tasks.resize(static_cast<std::size_t>(spec.total_tasks()));
+  const auto stages = static_cast<std::size_t>(spec.num_stages());
+  record.stage_started.assign(stages, 0);
+  record.stage_start_time.assign(stages, 0.0);
+  record.stage_tasks_completed.assign(stages, 0);
   jobs_.push_back(std::move(record));
-  job_samplers_.push_back(
-      StageSamplers{ParetoSampler(spec.t_min, spec.beta),
-                    ParetoSampler(spec.effective_reduce_t_min(),
-                                  spec.effective_reduce_beta())});
+  std::vector<ParetoSampler> samplers;
+  samplers.reserve(stages);
+  for (const StageSpec& st : spec.stages) {
+    samplers.emplace_back(st.t_min, st.beta);
+  }
+  job_samplers_.push_back(std::move(samplers));
 
-  const int copies = std::max(1, policy_.initial_attempts(spec));
-  // Capacity hint: every task gets `copies` initial attempts (one
+  // Capacity hint: every task gets its stage's initial attempts (one
   // finish/crash event each) plus up to its stage's r speculative ones.
   // Crash retries can still exceed this; the queue grows geometrically.
-  const long long stage_r = std::max(spec.r, spec.effective_reduce_r());
-  simulator_.reserve_events(
-      static_cast<std::size_t>(spec.total_tasks()) *
-      static_cast<std::size_t>(copies + stage_r));
-  for (int task = 0; task < spec.num_tasks; ++task) {
-    for (int copy = 0; copy < copies; ++copy) {
-      launch_attempt(job_index, task, 0.0);
-    }
-    if (copies > 1) {
-      // Only the first copy is the "original"; the rest are speculative.
-      job_mut(job_index).tasks[static_cast<std::size_t>(task)]
-          .extra_attempts_launched += copies - 1;
-    }
+  std::size_t event_hint = 0;
+  for (int s = 0; s < spec.num_stages(); ++s) {
+    const int copies = std::max(1, policy_.initial_attempts(spec, s));
+    event_hint += static_cast<std::size_t>(spec.stage(s).num_tasks) *
+                  static_cast<std::size_t>(copies + spec.stage(s).r);
   }
+  simulator_.reserve_events(event_hint);
+  start_stage(job_index, 0);
   policy_.on_job_start(job_index, *api_);
   return job_index;
 }
 
-void Scheduler::maybe_start_reduce_stage(int job) {
+void Scheduler::start_stage(int job, int stage) {
   auto& record = job_mut(job);
-  if (record.reduce_started || record.spec.reduce_tasks == 0 ||
-      record.map_tasks_completed() != record.spec.num_tasks) {
-    return;
-  }
-  record.reduce_started = true;
-  record.reduce_stage_start = simulator_.now();
-  const int copies = std::max(1, policy_.initial_attempts(record.spec));
-  for (int task = record.spec.num_tasks; task < record.spec.total_tasks();
-       ++task) {
+  record.stage_started[static_cast<std::size_t>(stage)] = 1;
+  record.stage_start_time[static_cast<std::size_t>(stage)] = simulator_.now();
+  const int copies = std::max(1, policy_.initial_attempts(record.spec, stage));
+  const int first = record.spec.first_task(stage);
+  const int last = first + record.spec.stage(stage).num_tasks;
+  for (int task = first; task < last; ++task) {
     for (int copy = 0; copy < copies; ++copy) {
       launch_attempt(job, task, 0.0);
     }
     if (copies > 1) {
+      // Only the first copy is the "original"; the rest are speculative.
       job_mut(job).tasks[static_cast<std::size_t>(task)]
           .extra_attempts_launched += copies - 1;
     }
   }
-  policy_.on_reduce_stage_start(job, *api_);
+  policy_.on_stage_start(job, stage, *api_);
+}
+
+void Scheduler::maybe_start_stages(int job) {
+  auto& record = job_mut(job);
+  for (int s = 1; s < record.spec.num_stages(); ++s) {
+    if (record.stage_started[static_cast<std::size_t>(s)]) {
+      continue;
+    }
+    bool ready = true;
+    for (const int dep : record.spec.resolved_deps(s)) {
+      if (!record.stage_done(dep)) {
+        ready = false;
+        break;
+      }
+    }
+    if (ready) {
+      start_stage(job, s);
+    }
+  }
 }
 
 int Scheduler::launch_attempt(int job, int task, double offset) {
@@ -148,9 +165,9 @@ void Scheduler::on_container_granted(int job, int attempt_id, int node) {
   // Total execution time of a full-split attempt follows the stage's Pareto
   // law, scaled by the node's contention slowdown (§VII-A observed the
   // combined distribution is Pareto with beta < 2).
-  const bool reduce = record.is_reduce_task(attempt.task_index);
   const auto& samplers = job_samplers_[static_cast<std::size_t>(job)];
-  const ParetoSampler& stage = reduce ? samplers.reduce : samplers.map;
+  const ParetoSampler& stage = samplers[static_cast<std::size_t>(
+      record.stage_of_task(attempt.task_index))];
   const double slowdown = cluster_.sample_slowdown(node, rng_);
   const double total = stage(rng_) * slowdown;
   double jvm = 0.0;
@@ -262,6 +279,8 @@ void Scheduler::complete_task(int job, int task, int winner_attempt) {
   task_record.winner_attempt = winner_attempt;
   task_record.completion_time = simulator_.now() - record.submit_time;
   ++record.tasks_completed;
+  ++record.stage_tasks_completed[static_cast<std::size_t>(
+      record.stage_of_task(task))];
   // Hadoop kills the remaining attempts of a completed task.
   for (const int sibling : task_record.attempt_ids) {
     if (sibling != winner_attempt) {
@@ -269,7 +288,7 @@ void Scheduler::complete_task(int job, int task, int winner_attempt) {
     }
   }
   policy_.on_task_completed(job, task, *api_);
-  maybe_start_reduce_stage(job);
+  maybe_start_stages(job);
   maybe_complete_job(job);
 }
 
@@ -288,7 +307,7 @@ void Scheduler::maybe_complete_job(int job) {
   outcome.deadline = record.spec.deadline;
   outcome.machine_time = record.machine_time;
   outcome.cost = record.machine_time * record.spec.price;
-  outcome.r_used = record.spec.r;
+  outcome.r_used = record.spec.stage(0).r;
   outcome.attempts_launched = record.attempts_launched;
   outcome.attempts_killed = record.attempts_killed;
   outcome.attempts_failed = record.attempts_failed;
@@ -327,21 +346,13 @@ std::vector<int> SchedulerApi::incomplete_tasks(int job) const {
   return tasks;
 }
 
-std::vector<int> SchedulerApi::incomplete_map_tasks(int job) const {
+std::vector<int> SchedulerApi::incomplete_stage_tasks(int job,
+                                                      int stage) const {
   const auto& record = scheduler_.job(job);
   std::vector<int> tasks;
-  for (int t = 0; t < record.spec.num_tasks; ++t) {
-    if (!record.tasks[static_cast<std::size_t>(t)].completed) {
-      tasks.push_back(t);
-    }
-  }
-  return tasks;
-}
-
-std::vector<int> SchedulerApi::incomplete_reduce_tasks(int job) const {
-  const auto& record = scheduler_.job(job);
-  std::vector<int> tasks;
-  for (int t = record.spec.num_tasks; t < record.spec.total_tasks(); ++t) {
+  const int first = record.spec.first_task(stage);
+  const int last = first + record.spec.stage(stage).num_tasks;
+  for (int t = first; t < last; ++t) {
     if (!record.tasks[static_cast<std::size_t>(t)].completed) {
       tasks.push_back(t);
     }

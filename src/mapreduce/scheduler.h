@@ -33,13 +33,16 @@ class SpeculationPolicy {
 
   virtual std::string name() const = 0;
 
-  /// How many attempts to launch per task at submission (Clone: r + 1).
-  virtual int initial_attempts(const JobSpec& spec) const {
+  /// How many attempts to launch per task when `stage` starts
+  /// (Clone: the stage's r + 1).
+  virtual int initial_attempts(const JobSpec& spec, int stage) const {
     (void)spec;
+    (void)stage;
     return 1;
   }
 
-  /// Invoked right after a job's initial attempts have been requested.
+  /// Invoked right after a job's stage-0 attempts have been requested (and
+  /// after on_stage_start(job, 0)).
   virtual void on_job_start(int job, SchedulerApi& api) {
     (void)job;
     (void)api;
@@ -52,11 +55,13 @@ class SpeculationPolicy {
     (void)api;
   }
 
-  /// Invoked when the shuffle barrier clears and the reduce stage starts
-  /// (only for jobs with reduce_tasks > 0, right after the reduce tasks'
-  /// initial attempts have been requested).
-  virtual void on_reduce_stage_start(int job, SchedulerApi& api) {
+  /// Invoked when a stage's barrier clears and the stage starts, right
+  /// after its tasks' initial attempts have been requested. Fires for
+  /// every stage, including stage 0 at submission; stage-relative timers
+  /// (tau_est / tau_kill) are armed here.
+  virtual void on_stage_start(int job, int stage, SchedulerApi& api) {
     (void)job;
+    (void)stage;
     (void)api;
   }
 
@@ -144,16 +149,17 @@ class Scheduler {
   void end_attempt(int job, int attempt, AttemptState final_state);
 
   void complete_task(int job, int task, int winner_attempt);
-  void maybe_start_reduce_stage(int job);
-  void maybe_complete_job(int job);
 
-  /// Pre-validated per-stage duration samplers, built once per job at
-  /// submission so the per-attempt hot path skips parameter validation and
-  /// exponent derivation (draws stay bit-identical to Rng::pareto).
-  struct StageSamplers {
-    ParetoSampler map;
-    ParetoSampler reduce;
-  };
+  /// Marks `stage` started, requests its tasks' initial attempts, and fires
+  /// the policy's on_stage_start hook.
+  void start_stage(int job, int stage);
+
+  /// Starts every not-yet-started stage whose predecessor stages (the
+  /// spec's resolved deps) have all completed — the generalized shuffle
+  /// barrier. Stages are scanned in index (= topological) order.
+  void maybe_start_stages(int job);
+
+  void maybe_complete_job(int job);
 
   sim::Simulator& simulator_;
   sim::Cluster& cluster_;
@@ -161,7 +167,11 @@ class Scheduler {
   SchedulerConfig config_;
   Rng rng_;
   std::vector<JobRecord> jobs_;
-  std::vector<StageSamplers> job_samplers_;  ///< parallel to jobs_
+  /// Pre-validated per-stage duration samplers (one per stage, parallel to
+  /// jobs_), built once per job at submission so the per-attempt hot path
+  /// skips parameter validation and exponent derivation (draws stay
+  /// bit-identical to Rng::pareto).
+  std::vector<std::vector<ParetoSampler>> job_samplers_;
   std::optional<ExponentialSampler> crash_sampler_;  ///< when failures on
   sim::RunMetrics metrics_;
   std::unique_ptr<SchedulerApi> api_;
@@ -181,12 +191,11 @@ class SchedulerApi {
   /// Time relative to the job's submission (strategy timers are job-local).
   double job_time(int job) const;
 
-  /// Indices of tasks not yet completed (both stages).
+  /// Indices of tasks not yet completed (all stages).
   std::vector<int> incomplete_tasks(int job) const;
 
   /// Incomplete tasks restricted to one stage.
-  std::vector<int> incomplete_map_tasks(int job) const;
-  std::vector<int> incomplete_reduce_tasks(int job) const;
+  std::vector<int> incomplete_stage_tasks(int job, int stage) const;
 
   /// Attempt ids of `task` that are waiting or running.
   std::vector<int> active_attempts(int job, int task) const;

@@ -44,12 +44,16 @@ std::uint64_t hash_key(const PlanKey& key) {
     }
   };
   mix(key.mode);
-  mix(static_cast<std::uint64_t>(key.num_tasks));
-  mix(static_cast<std::uint64_t>(key.t_min));
-  mix(static_cast<std::uint64_t>(key.beta));
+  mix(static_cast<std::uint64_t>(key.num_stages));
   mix(static_cast<std::uint64_t>(key.deadline));
   mix(static_cast<std::uint64_t>(key.price));
   mix(static_cast<std::uint64_t>(key.theta));
+  for (const PlanStageKey& stage : key.stages) {
+    mix(static_cast<std::uint64_t>(stage.num_tasks));
+    mix(static_cast<std::uint64_t>(stage.t_min));
+    mix(static_cast<std::uint64_t>(stage.beta));
+    mix(stage.deps);
+  }
   return hash;
 }
 

@@ -26,6 +26,7 @@
 // no reclamation problem for concurrent readers.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -64,18 +65,38 @@ struct PlanCacheConfig {
 /// collide.
 std::int64_t quantize_bucket(double value, double grid);
 
-/// Canonical cache key: the planning mode plus every request field the plan
-/// depends on, encoded as integers (bit patterns in kExact mode, bucket
-/// indices in kQuantized mode). PlannerConfig knobs are deliberately
-/// absent: they are fixed for the lifetime of a PlannerService.
-struct PlanKey {
-  std::uint64_t mode = 0;  ///< PolicyKind ordinal, or kAutoMode
+/// Stage budget of the fixed-width cache key. Jobs with more stages bypass
+/// the cache entirely (planned from scratch per request) — DAGs beyond this
+/// width are rare enough that caching them is not worth a variable-length
+/// key on the lock-free read path.
+inline constexpr int kMaxKeyStages = 4;
+
+/// Per-stage slice of the cache key: the stage's shape fields (encoded like
+/// the job-level continuous fields — bit patterns or bucket indices) plus
+/// its resolved dependency set as a bitmask over earlier stages. Two specs
+/// differing in ANY stage — shape or wiring — therefore never collide.
+struct PlanStageKey {
   std::int64_t num_tasks = 0;
   std::int64_t t_min = 0;
   std::int64_t beta = 0;
+  std::uint64_t deps = 0;  ///< bitmask of resolved predecessor stages
+
+  friend bool operator==(const PlanStageKey&, const PlanStageKey&) = default;
+};
+
+/// Canonical cache key: the planning mode plus every request field the plan
+/// depends on, encoded as integers (bit patterns in kExact mode, bucket
+/// indices in kQuantized mode). The full stage vector is keyed — stage
+/// slots past num_stages stay zero-initialized. PlannerConfig knobs are
+/// deliberately absent: they are fixed for the lifetime of a
+/// PlannerService.
+struct PlanKey {
+  std::uint64_t mode = 0;  ///< PolicyKind ordinal, or kAutoMode
+  std::int64_t num_stages = 0;
   std::int64_t deadline = 0;
   std::int64_t price = 0;
   std::int64_t theta = 0;
+  std::array<PlanStageKey, kMaxKeyStages> stages{};
 
   friend bool operator==(const PlanKey&, const PlanKey&) = default;
 };
@@ -84,18 +105,22 @@ struct PlanKey {
 /// policies use their PolicyKind ordinal (0..5).
 inline constexpr std::uint64_t kAutoMode = 6;
 
-/// FNV-1a over the key's canonical integer fields.
+/// FNV-1a over the key's canonical integer fields (all stage slots
+/// included).
 std::uint64_t hash_key(const PlanKey& key);
 
 /// The cached decision: which policy runs the job and with how many extra
-/// attempts. Price and the tau timer fields are deliberately NOT cached —
-/// they are recomputed per request from the request's own price clock and
-/// the service's tau factors, so a cache hit can never serve a stale spot
-/// price or another job's timers.
+/// attempts per stage. Price and the tau timer fields are deliberately NOT
+/// cached — they are recomputed per request from the request's own price
+/// clock and the service's tau factors, so a cache hit can never serve a
+/// stale spot price or another job's timers.
 struct CachedPlan {
   strategies::PolicyKind kind = strategies::PolicyKind::kHadoopNS;
-  long long r = 0;  ///< final extra-attempt count (infeasible fallback folded in)
-  bool feasible = false;
+  std::int64_t num_stages = 1;
+  /// Final per-stage extra-attempt counts (infeasible fallback folded in);
+  /// slots past num_stages stay zero.
+  std::array<long long, kMaxKeyStages> r{};
+  bool feasible = false;  ///< every planned stage was feasible
 
   friend bool operator==(const CachedPlan&, const CachedPlan&) = default;
 };

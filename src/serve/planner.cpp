@@ -64,6 +64,16 @@ core::JobParams request_params(const PlanRequest& request,
   return trace::to_job_params(*request.spec, planner, strategy);
 }
 
+CachedPlan single_stage_plan(strategies::PolicyKind kind, long long r,
+                             bool feasible) {
+  CachedPlan plan;
+  plan.kind = kind;
+  plan.num_stages = 1;
+  plan.r[0] = r;
+  plan.feasible = feasible;
+  return plan;
+}
+
 }  // namespace
 
 PlannerService::PlannerService(PlannerServiceConfig config)
@@ -84,27 +94,38 @@ PlannerServiceStats PlannerService::stats() const {
   return stats;
 }
 
+bool PlannerService::keyable(const PlanRequest& request) {
+  return request.spec->num_stages() <= kMaxKeyStages;
+}
+
 PlanKey PlannerService::make_key(const PlanRequest& request) const {
   const auto& spec = *request.spec;
+  CHRONOS_EXPECTS(spec.num_stages() <= kMaxKeyStages,
+                  "plan key holds at most kMaxKeyStages stages");
   PlanKey key;
   key.mode = request.auto_strategy
                  ? kAutoMode
                  : static_cast<std::uint64_t>(request.policy);
-  key.num_tasks = spec.num_tasks;
+  key.num_stages = spec.num_stages();
   const double theta = effective_theta(request);
-  if (config_.cache.mode == CacheMode::kQuantized) {
-    const double grid = config_.cache.grid;
-    key.t_min = quantize_bucket(spec.t_min, grid);
-    key.beta = quantize_bucket(spec.beta, grid);
-    key.deadline = quantize_bucket(spec.deadline, grid);
-    key.price = quantize_bucket(request.price, grid);
-    key.theta = quantize_bucket(theta, grid);
-  } else {
-    key.t_min = std::bit_cast<std::int64_t>(spec.t_min);
-    key.beta = std::bit_cast<std::int64_t>(spec.beta);
-    key.deadline = std::bit_cast<std::int64_t>(spec.deadline);
-    key.price = std::bit_cast<std::int64_t>(request.price);
-    key.theta = std::bit_cast<std::int64_t>(theta);
+  const bool quantized = config_.cache.mode == CacheMode::kQuantized;
+  const double grid = config_.cache.grid;
+  const auto encode = [&](double value) {
+    return quantized ? quantize_bucket(value, grid)
+                     : std::bit_cast<std::int64_t>(value);
+  };
+  key.deadline = encode(spec.deadline);
+  key.price = encode(request.price);
+  key.theta = encode(theta);
+  for (int s = 0; s < spec.num_stages(); ++s) {
+    const auto& st = spec.stage(s);
+    auto& slot = key.stages[static_cast<std::size_t>(s)];
+    slot.num_tasks = st.num_tasks;
+    slot.t_min = encode(st.t_min);
+    slot.beta = encode(st.beta);
+    for (const int dep : spec.resolved_deps(s)) {
+      slot.deps |= std::uint64_t{1} << dep;
+    }
   }
   return key;
 }
@@ -114,6 +135,42 @@ CachedPlan PlannerService::compute(const PlanRequest& request,
   const auto& spec = *request.spec;
   trace::PlannerConfig planner = config_.planner;
   planner.theta = effective_theta(request);
+  if (spec.num_stages() > 1) {
+    // Staged jobs plan on a scratch copy through the critical-path split
+    // (compute stays pure; apply() writes the spec). `shared` is ignored:
+    // per-stage deadlines make the stage params differ from the job-level
+    // view plan_batch groups on, and plan_staged_spec shares analytics
+    // across its own same-shape stages internally.
+    mapreduce::JobSpec scratch = spec;
+    strategies::PolicyKind kind = request.policy;
+    if (request.auto_strategy) {
+      // Pick the strategy on the root stage's critical-path view, then
+      // plan every stage under it (one policy runs the whole job).
+      const auto deadlines = trace::critical_path_split(scratch);
+      const auto params =
+          trace::stage_job_params(scratch.stage(0), deadlines[0], planner,
+                                  core::Strategy::kSpeculativeResume);
+      const auto econ = trace::stage_economics(scratch.stage(0), deadlines[0],
+                                               planner, request.price);
+      const auto best = core::optimize_all(params, econ, planner.optimizer);
+      kind = trace::policy_of(best.strategy);
+    }
+    const auto staged =
+        trace::plan_staged_spec(scratch, kind, planner, request.price);
+    CachedPlan plan;
+    plan.kind = kind;
+    plan.num_stages = scratch.num_stages();
+    const bool analytic = trace::has_analytic_strategy(kind);
+    plan.feasible = analytic;
+    for (int s = 0; s < scratch.num_stages() && s < kMaxKeyStages; ++s) {
+      plan.r[static_cast<std::size_t>(s)] = scratch.stage(s).r;
+      if (analytic &&
+          !staged.stages[static_cast<std::size_t>(s)].feasible) {
+        plan.feasible = false;
+      }
+    }
+    return plan;
+  }
   if (request.auto_strategy) {
     const auto econ = trace::to_economics(spec, planner, request.price);
     core::BestStrategy best;
@@ -124,12 +181,12 @@ CachedPlan PlannerService::compute(const PlanRequest& request,
           spec, planner, core::Strategy::kSpeculativeResume);
       best = core::optimize_all(params, econ, planner.optimizer);
     }
-    return {trace::policy_of(best.strategy),
-            best.result.feasible ? best.result.r_opt : 1,
-            best.result.feasible};
+    return single_stage_plan(trace::policy_of(best.strategy),
+                             best.result.feasible ? best.result.r_opt : 1,
+                             best.result.feasible);
   }
   if (!trace::has_analytic_strategy(request.policy)) {
-    return {request.policy, 0, false};
+    return single_stage_plan(request.policy, 0, false);
   }
   const core::Strategy strategy = trace::analytic_strategy(request.policy);
   const auto econ = trace::to_economics(spec, planner, request.price);
@@ -141,24 +198,30 @@ CachedPlan PlannerService::compute(const PlanRequest& request,
     const auto params = trace::to_job_params(spec, planner, strategy);
     result = core::optimize(strategy, params, econ, planner.optimizer);
   }
-  return {request.policy, result.feasible ? result.r_opt : 1,
-          result.feasible};
+  return single_stage_plan(request.policy,
+                           result.feasible ? result.r_opt : 1,
+                           result.feasible);
 }
 
 void PlannerService::apply(const PlanRequest& request,
                            const CachedPlan& plan) const {
   auto& spec = *request.spec;
   spec.price = request.price;
-  const double tau_est = config_.planner.tau_est_factor * spec.t_min;
-  spec.tau_kill = config_.planner.tau_kill_factor * spec.t_min;
-  if (!request.auto_strategy &&
-      !trace::has_analytic_strategy(request.policy)) {
-    spec.tau_est = tau_est;
-    spec.r = 0;
-    return;
+  const bool fixed_baseline = !request.auto_strategy &&
+                              !trace::has_analytic_strategy(request.policy);
+  for (int s = 0; s < spec.num_stages() && s < kMaxKeyStages; ++s) {
+    auto& st = spec.stage(s);
+    const double tau_est = config_.planner.tau_est_factor * st.t_min;
+    st.tau_kill = config_.planner.tau_kill_factor * st.t_min;
+    if (fixed_baseline) {
+      st.tau_est = tau_est;
+      st.r = 0;
+      continue;
+    }
+    st.tau_est =
+        plan.kind == strategies::PolicyKind::kClone ? 0.0 : tau_est;
+    st.r = plan.r[static_cast<std::size_t>(s)];
   }
-  spec.tau_est = plan.kind == strategies::PolicyKind::kClone ? 0.0 : tau_est;
-  spec.r = plan.r;
 }
 
 void PlannerService::publish(const PlanKey& key, const CachedPlan& plan) {
@@ -172,29 +235,60 @@ void PlannerService::publish(const PlanKey& key, const CachedPlan& plan) {
   }
 }
 
+PlanReply PlannerService::plan_direct(const PlanRequest& request) const {
+  trace::PlannerConfig planner = config_.planner;
+  planner.theta = effective_theta(request);
+  auto& spec = *request.spec;
+  strategies::PolicyKind kind = request.policy;
+  if (request.auto_strategy) {
+    const auto deadlines = trace::critical_path_split(spec);
+    const auto params =
+        trace::stage_job_params(spec.stage(0), deadlines[0], planner,
+                                core::Strategy::kSpeculativeResume);
+    const auto econ = trace::stage_economics(spec.stage(0), deadlines[0],
+                                             planner, request.price);
+    const auto best = core::optimize_all(params, econ, planner.optimizer);
+    kind = trace::policy_of(best.strategy);
+  }
+  const auto staged = trace::plan_staged_spec(spec, kind, planner,
+                                              request.price);
+  bool feasible = trace::has_analytic_strategy(kind);
+  if (feasible) {
+    for (const auto& stage : staged.stages) {
+      feasible = feasible && stage.feasible;
+    }
+  }
+  return {kind, spec.stage(0).r, feasible, false};
+}
+
 PlanReply PlannerService::plan(const PlanRequest& request) {
   CHRONOS_EXPECTS(request.spec != nullptr, "plan request needs a spec");
   const obs::ScopedTimer timer(t_plan);
   c_requests.add();
   requests_.fetch_add(1, std::memory_order_relaxed);
+  if (!keyable(request)) {
+    // Wider than the fixed-width key: always planned from scratch (no hit
+    // or miss is counted — the request never consults the cache).
+    return plan_direct(request);
+  }
   if (config_.cache.mode == CacheMode::kOff) {
     const CachedPlan plan = compute(request, nullptr);
     apply(request, plan);
-    return {plan.kind, plan.r, plan.feasible, false};
+    return {plan.kind, plan.r[0], plan.feasible, false};
   }
   const PlanKey key = make_key(request);
   if (const CachedPlan* cached = cache_.find(key)) {
     c_hits.add();
     hits_.fetch_add(1, std::memory_order_relaxed);
     apply(request, *cached);
-    return {cached->kind, cached->r, cached->feasible, true};
+    return {cached->kind, cached->r[0], cached->feasible, true};
   }
   c_misses.add();
   misses_.fetch_add(1, std::memory_order_relaxed);
   const CachedPlan plan = compute(request, nullptr);
   publish(key, plan);
   apply(request, plan);
-  return {plan.kind, plan.r, plan.feasible, false};
+  return {plan.kind, plan.r[0], plan.feasible, false};
 }
 
 std::vector<PlanReply> PlannerService::plan_batch(
@@ -221,6 +315,10 @@ std::vector<PlanReply> PlannerService::plan_batch(
     bool from_cache = false;
     std::size_t rep = 0;  ///< first request index filed under this key
   };
+  // Requests wider than the fixed-width key never consult the cache; they
+  // are planned individually below (kDirect marks them in slot_of).
+  constexpr std::size_t kDirect = static_cast<std::size_t>(-1);
+
   std::vector<Slot> slots;
   slots.reserve(n);
   std::unordered_map<PlanKey, std::size_t, PlanKeyHasher> index(n);
@@ -228,6 +326,10 @@ std::vector<PlanReply> PlannerService::plan_batch(
   std::vector<char> is_first(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     CHRONOS_EXPECTS(requests[i].spec != nullptr, "plan request needs a spec");
+    if (!keyable(requests[i])) {
+      slot_of[i] = kDirect;
+      continue;
+    }
     const PlanKey key = make_key(requests[i]);
     const auto [it, fresh] = index.try_emplace(key, slots.size());
     if (fresh) {
@@ -259,7 +361,19 @@ std::vector<PlanReply> PlannerService::plan_batch(
     const PlanRequest& request = requests[slots[s].rep];
     if (!request.auto_strategy &&
         !trace::has_analytic_strategy(request.policy)) {
-      slots[s].plan = CachedPlan{request.policy, 0, false};
+      slots[s].plan = single_stage_plan(request.policy, 0, false);
+      slots[s].plan.num_stages = request.spec->num_stages();
+      slots[s].resolved = true;
+      if (cached) {
+        publish(slots[s].key, slots[s].plan);
+      }
+      continue;
+    }
+    if (request.spec->num_stages() > 1) {
+      // Staged jobs plan against per-stage critical-path deadlines, not the
+      // job-level shape the groups are keyed on; compute() handles their
+      // analytics sharing internally.
+      slots[s].plan = compute(request, nullptr);
       slots[s].resolved = true;
       if (cached) {
         publish(slots[s].key, slots[s].plan);
@@ -283,11 +397,15 @@ std::vector<PlanReply> PlannerService::plan_batch(
   }
 
   for (std::size_t i = 0; i < n; ++i) {
+    if (slot_of[i] == kDirect) {
+      replies[i] = plan_direct(requests[i]);
+      continue;
+    }
     const Slot& slot = slots[slot_of[i]];
     apply(requests[i], slot.plan);
     const bool hit = cached && (slot.from_cache || is_first[i] == 0);
     replies[i] =
-        PlanReply{slot.plan.kind, slot.plan.r, slot.plan.feasible, hit};
+        PlanReply{slot.plan.kind, slot.plan.r[0], slot.plan.feasible, hit};
     if (cached) {
       if (hit) {
         c_hits.add();

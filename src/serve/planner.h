@@ -39,8 +39,11 @@ struct PlannerServiceConfig {
   PlanCacheConfig cache;
 };
 
-/// One planning request. `spec` supplies the job shape (num_tasks, t_min,
-/// beta, deadline) and receives the plan (price, tau_est, tau_kill, r).
+/// One planning request. `spec` supplies the job shape (the stage vector
+/// plus deadline) and receives the plan (price, and per stage tau_est /
+/// tau_kill / r). Staged jobs up to serve::kMaxKeyStages stages are cached
+/// like single-stage ones (the key covers the full stage vector); wider
+/// DAGs are planned from scratch on every request.
 struct PlanRequest {
   mapreduce::JobSpec* spec = nullptr;
 
@@ -60,7 +63,7 @@ struct PlanRequest {
 
 struct PlanReply {
   strategies::PolicyKind kind = strategies::PolicyKind::kHadoopNS;
-  long long r = 0;
+  long long r = 0;  ///< stage-0 extra attempts (full plan is in the spec)
   bool feasible = false;
   bool cache_hit = false;
 };
@@ -96,13 +99,22 @@ class PlannerService {
   PlannerServiceStats stats() const;
 
   /// The cache key a request would be filed under (exposed for tests of
-  /// the quantization-boundary behavior).
+  /// the quantization-boundary behavior). Requires the spec to have at most
+  /// kMaxKeyStages stages.
   PlanKey make_key(const PlanRequest& request) const;
 
  private:
   double effective_theta(const PlanRequest& request) const {
     return request.theta < 0.0 ? config_.planner.theta : request.theta;
   }
+
+  /// Whether the request can go through the cache at all: the key is
+  /// fixed-width, so jobs wider than kMaxKeyStages always plan uncached.
+  static bool keyable(const PlanRequest& request);
+
+  /// Plans a wider-than-keyable DAG directly into the spec (no CachedPlan
+  /// round trip — its per-stage r array is fixed-width too).
+  PlanReply plan_direct(const PlanRequest& request) const;
 
   /// Pure planning: runs the optimizer for the request without touching
   /// its spec. `shared` optionally supplies prebuilt shape constants (must

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -74,7 +75,12 @@ class WindowedArea {
 /// under different strategies within ONE scheduler, so this policy owns one
 /// lazily-created backend per PolicyKind and routes every hook to the
 /// backend staged for that job at submission. Scheduler::submit runs
-/// synchronously, so stage() immediately before submit() is race-free.
+/// synchronously, so stage() immediately before submit() is race-free; the
+/// stage-0 hooks of a submission therefore see `staged_` still pointing at
+/// its backend. Later stages start asynchronously (when their barrier
+/// clears, arbitrarily interleaved with other arrivals), so the backend is
+/// pinned per job at stage-0 start — by scheduler job index for the hooks,
+/// and by spec.job_id for initial_attempts, which receives only the spec.
 class MuxPolicy final : public mapreduce::SpeculationPolicy {
  public:
   explicit MuxPolicy(strategies::PolicyOptions options) : options_(options) {}
@@ -87,16 +93,18 @@ class MuxPolicy final : public mapreduce::SpeculationPolicy {
 
   std::string name() const override { return "Open-Mux"; }
 
-  int initial_attempts(const mapreduce::JobSpec& spec) const override {
-    return staged_->initial_attempts(spec);
+  int initial_attempts(const mapreduce::JobSpec& spec,
+                       int stage) const override {
+    const auto it = by_job_id_.find(spec.job_id);
+    // Stage 0 is launched from inside submit(), before any hook could have
+    // pinned the job: the staged backend is the submission's backend.
+    const mapreduce::SpeculationPolicy* backend =
+        it != by_job_id_.end() ? it->second : staged_;
+    return backend->initial_attempts(spec, stage);
   }
 
   void on_job_start(int job, mapreduce::SchedulerApi& api) override {
-    if (static_cast<std::size_t>(job) >= per_job_.size()) {
-      per_job_.resize(static_cast<std::size_t>(job) + 1, nullptr);
-    }
-    per_job_[static_cast<std::size_t>(job)] = staged_;
-    staged_->on_job_start(job, api);
+    per_job_[static_cast<std::size_t>(job)]->on_job_start(job, api);
   }
 
   void on_task_completed(int job, int task,
@@ -104,12 +112,21 @@ class MuxPolicy final : public mapreduce::SpeculationPolicy {
     per_job_[static_cast<std::size_t>(job)]->on_task_completed(job, task, api);
   }
 
-  void on_reduce_stage_start(int job, mapreduce::SchedulerApi& api) override {
-    per_job_[static_cast<std::size_t>(job)]->on_reduce_stage_start(job, api);
+  void on_stage_start(int job, int stage,
+                      mapreduce::SchedulerApi& api) override {
+    if (stage == 0) {
+      if (static_cast<std::size_t>(job) >= per_job_.size()) {
+        per_job_.resize(static_cast<std::size_t>(job) + 1, nullptr);
+      }
+      per_job_[static_cast<std::size_t>(job)] = staged_;
+      by_job_id_[api.spec(job).job_id] = staged_;
+    }
+    per_job_[static_cast<std::size_t>(job)]->on_stage_start(job, stage, api);
   }
 
   void on_job_completed(int job, mapreduce::SchedulerApi& api) override {
     per_job_[static_cast<std::size_t>(job)]->on_job_completed(job, api);
+    by_job_id_.erase(api.spec(job).job_id);
     if (on_complete_) {
       on_complete_(job);
     }
@@ -128,6 +145,10 @@ class MuxPolicy final : public mapreduce::SpeculationPolicy {
   std::array<std::unique_ptr<mapreduce::SpeculationPolicy>, 6> backends_;
   mapreduce::SpeculationPolicy* staged_ = nullptr;
   std::vector<mapreduce::SpeculationPolicy*> per_job_;
+  /// job_id -> backend, erased at completion so memory tracks in-flight
+  /// work. Keyed by job_id (not scheduler index) because initial_attempts
+  /// only sees the spec.
+  std::unordered_map<int, mapreduce::SpeculationPolicy*> by_job_id_;
   std::function<void(int job)> on_complete_;
 };
 
@@ -223,8 +244,9 @@ class OpenEngine {
         break;
       case Decision::kDegrade:
         kind = strategies::PolicyKind::kHadoopNS;
-        spec.r = 0;
-        spec.reduce_r = 0;
+        for (auto& st : spec.stages) {
+          st.r = 0;
+        }
         ++result_.degraded;
         c_degraded.add();
         [[fallthrough]];
@@ -278,7 +300,7 @@ class OpenEngine {
       outcome.deadline = record.spec.deadline;
       outcome.machine_time = record.machine_time;
       outcome.cost = record.machine_time * record.spec.price;
-      outcome.r_used = record.spec.r;
+      outcome.r_used = record.spec.stage(0).r;
       outcome.attempts_launched = record.attempts_launched;
       outcome.attempts_killed = record.attempts_killed;
       outcome.attempts_failed = record.attempts_failed;
@@ -308,11 +330,13 @@ class OpenEngine {
   }
 
   double analytic_baseline_pocd(const mapreduce::JobSpec& spec) const {
+    // Root-stage view under the whole job deadline — the same baseline the
+    // planner's r_min_from_baseline mode computes for single-stage jobs.
     core::JobParams params;
-    params.num_tasks = spec.num_tasks;
+    params.num_tasks = spec.stage(0).num_tasks;
     params.deadline = spec.deadline;
-    params.t_min = spec.t_min;
-    params.beta = spec.beta;
+    params.t_min = spec.stage(0).t_min;
+    params.beta = spec.stage(0).beta;
     params.tau_est = 0.0;
     params.tau_kill = 0.0;
     params.phi_est = 0.0;
@@ -405,13 +429,13 @@ AdmissionDecision admission_decide(const AdmissionConfig& config,
     return AdmissionDecision::kReject;
   }
   const double headroom = std::max(0.0, idle_containers - backlog);
-  // Speculative demand of BOTH stages: a reduce-dominated job speculates
-  // reduce_r extra attempts per reduce task and must not slip past the
-  // headroom check on the strength of a tiny map stage.
-  const double demand =
-      static_cast<double>(spec.r) * static_cast<double>(spec.num_tasks) +
-      static_cast<double>(spec.effective_reduce_r()) *
-          static_cast<double>(spec.reduce_tasks);
+  // Speculative demand over EVERY stage by construction: a job dominated by
+  // a late stage speculates that stage's r extra attempts per task and must
+  // not slip past the headroom check on the strength of a tiny root stage.
+  double demand = 0.0;
+  for (const auto& st : spec.stages) {
+    demand += static_cast<double>(st.r) * static_cast<double>(st.num_tasks);
+  }
   if (demand > config.degrade_headroom * headroom) {
     return AdmissionDecision::kDegrade;
   }

@@ -49,8 +49,9 @@ struct AdmissionConfig {
   bool enabled = true;
 
   /// A job is degraded to the no-speculation baseline when its speculative
-  /// demand — r extra attempts per map task plus reduce_r per reduce task —
-  /// exceeds degrade_headroom * max(0, idle - backlog) free containers.
+  /// demand — each stage's r extra attempts per task, summed over every
+  /// stage — exceeds degrade_headroom * max(0, idle - backlog) free
+  /// containers.
   double degrade_headroom = 1.0;
 
   /// A job is rejected outright when the container backlog plus its own
@@ -67,8 +68,9 @@ enum class AdmissionDecision { kAdmit, kDegrade, kReject };
 /// tests can drive it against synthetic cluster states. `backlog` is the
 /// pending container-request count, `idle_containers` / `total_containers`
 /// the cluster occupancy at the arrival instant. Speculative demand counts
-/// BOTH stages: spec.r * num_tasks + effective_reduce_r() * reduce_tasks
-/// (a reduce-heavy job must not slip past the headroom check).
+/// EVERY stage by construction: sum over stages of stage.r * stage.num_tasks
+/// (a reduce- or tail-stage-heavy job must not slip past the headroom check
+/// on the strength of a tiny root stage).
 AdmissionDecision admission_decide(const AdmissionConfig& config,
                                    const mapreduce::JobSpec& spec,
                                    double backlog, double idle_containers,

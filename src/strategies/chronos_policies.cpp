@@ -39,73 +39,41 @@ bool is_straggler(SchedulerApi& api, int job, int attempt_id) {
   return estimate - record.submit_time > record.spec.deadline;
 }
 
-/// Incomplete tasks of the requested stage.
-std::vector<int> stage_tasks(SchedulerApi& api, int job, Stage stage) {
-  return stage == Stage::kMap ? api.incomplete_map_tasks(job)
-                              : api.incomplete_reduce_tasks(job);
-}
-
-/// Extra attempts per straggler for the stage (reduce may differ, §III:
-/// the stages are optimized separately).
-long long stage_r(const mapreduce::JobSpec& spec, Stage stage) {
-  return stage == Stage::kMap ? spec.r : spec.effective_reduce_r();
-}
-
 }  // namespace
 
-void Clone::on_job_start(int job, SchedulerApi& api) {
+void Clone::on_stage_start(int job, int stage, SchedulerApi& api) {
   // All r+1 copies were launched by the scheduler (initial_attempts); at
   // tau_kill keep the copy with the best progress score (§III, Fig. 1a).
-  api.schedule_after(api.spec(job).tau_kill, [job, &api] {
-    if (api.job(job).done) {
-      return;
-    }
-    for (const int task : api.incomplete_map_tasks(job)) {
-      api.keep_best_progress(job, task);
-    }
-  });
-}
-
-void Clone::on_reduce_stage_start(int job, SchedulerApi& api) {
-  // The scheduler has just launched r+1 copies of every reduce task; the
-  // reduce-stage kill timer runs relative to the stage start.
-  api.schedule_after(api.spec(job).effective_reduce_tau_kill(),
-                     [job, &api] {
+  // The kill timer runs relative to the stage's start.
+  api.schedule_after(api.spec(job).stage(stage).tau_kill,
+                     [job, stage, &api] {
                        if (api.job(job).done) {
                          return;
                        }
                        for (const int task :
-                            api.incomplete_reduce_tasks(job)) {
+                            api.incomplete_stage_tasks(job, stage)) {
                          api.keep_best_progress(job, task);
                        }
                      });
 }
 
-void SpeculativeRestart::on_job_start(int job, SchedulerApi& api) {
-  api.schedule_after(api.spec(job).tau_est, [this, job, &api] {
-    detect(job, Stage::kMap, api);
+void SpeculativeRestart::on_stage_start(int job, int stage,
+                                        SchedulerApi& api) {
+  const auto& st = api.spec(job).stage(stage);
+  api.schedule_after(st.tau_est, [this, job, stage, &api] {
+    detect(job, stage, api);
   });
-  api.schedule_after(api.spec(job).tau_kill, [this, job, &api] {
-    reap(job, Stage::kMap, api);
-  });
-}
-
-void SpeculativeRestart::on_reduce_stage_start(int job, SchedulerApi& api) {
-  const auto& spec = api.spec(job);
-  api.schedule_after(spec.effective_reduce_tau_est(), [this, job, &api] {
-    detect(job, Stage::kReduce, api);
-  });
-  api.schedule_after(spec.effective_reduce_tau_kill(), [this, job, &api] {
-    reap(job, Stage::kReduce, api);
+  api.schedule_after(st.tau_kill, [this, job, stage, &api] {
+    reap(job, stage, api);
   });
 }
 
-void SpeculativeRestart::detect(int job, Stage stage, SchedulerApi& api) {
+void SpeculativeRestart::detect(int job, int stage, SchedulerApi& api) {
   if (api.job(job).done) {
     return;
   }
-  const long long extras = stage_r(api.spec(job), stage);
-  for (const int task : stage_tasks(api, job, stage)) {
+  const long long extras = api.spec(job).stage(stage).r;
+  for (const int task : api.incomplete_stage_tasks(job, stage)) {
     const int original = original_active_attempt(api, job, task);
     if (original < 0 || !is_straggler(api, job, original)) {
       continue;
@@ -118,40 +86,32 @@ void SpeculativeRestart::detect(int job, Stage stage, SchedulerApi& api) {
   }
 }
 
-void SpeculativeRestart::reap(int job, Stage stage, SchedulerApi& api) {
+void SpeculativeRestart::reap(int job, int stage, SchedulerApi& api) {
   if (api.job(job).done) {
     return;
   }
-  for (const int task : stage_tasks(api, job, stage)) {
+  for (const int task : api.incomplete_stage_tasks(job, stage)) {
     api.keep_best_estimate(job, task);
   }
 }
 
-void SpeculativeResume::on_job_start(int job, SchedulerApi& api) {
-  api.schedule_after(api.spec(job).tau_est, [this, job, &api] {
-    detect(job, Stage::kMap, api);
+void SpeculativeResume::on_stage_start(int job, int stage,
+                                       SchedulerApi& api) {
+  const auto& st = api.spec(job).stage(stage);
+  api.schedule_after(st.tau_est, [this, job, stage, &api] {
+    detect(job, stage, api);
   });
-  api.schedule_after(api.spec(job).tau_kill, [this, job, &api] {
-    reap(job, Stage::kMap, api);
-  });
-}
-
-void SpeculativeResume::on_reduce_stage_start(int job, SchedulerApi& api) {
-  const auto& spec = api.spec(job);
-  api.schedule_after(spec.effective_reduce_tau_est(), [this, job, &api] {
-    detect(job, Stage::kReduce, api);
-  });
-  api.schedule_after(spec.effective_reduce_tau_kill(), [this, job, &api] {
-    reap(job, Stage::kReduce, api);
+  api.schedule_after(st.tau_kill, [this, job, stage, &api] {
+    reap(job, stage, api);
   });
 }
 
-void SpeculativeResume::detect(int job, Stage stage, SchedulerApi& api) {
+void SpeculativeResume::detect(int job, int stage, SchedulerApi& api) {
   if (api.job(job).done) {
     return;
   }
-  const long long extras = stage_r(api.spec(job), stage);
-  for (const int task : stage_tasks(api, job, stage)) {
+  const long long extras = api.spec(job).stage(stage).r;
+  for (const int task : api.incomplete_stage_tasks(job, stage)) {
     const int original = original_active_attempt(api, job, task);
     if (original < 0 || !is_straggler(api, job, original)) {
       continue;
@@ -173,11 +133,11 @@ void SpeculativeResume::detect(int job, Stage stage, SchedulerApi& api) {
   }
 }
 
-void SpeculativeResume::reap(int job, Stage stage, SchedulerApi& api) {
+void SpeculativeResume::reap(int job, int stage, SchedulerApi& api) {
   if (api.job(job).done) {
     return;
   }
-  for (const int task : stage_tasks(api, job, stage)) {
+  for (const int task : api.incomplete_stage_tasks(job, stage)) {
     api.keep_best_estimate(job, task);
   }
 }

@@ -1,5 +1,6 @@
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/error.h"
 #include "strategies/policies.h"
@@ -30,16 +31,18 @@ void HadoopSpeculation::check(int job, SchedulerApi& api) {
   }
   const double submit = api.job(job).submit_time;
 
-  // Hadoop speculates map and reduce tasks separately: a stage becomes
-  // eligible once at least one of its own tasks has finished, and estimates
-  // are compared against that stage's average completion time.
+  // Hadoop speculates each stage separately: a stage becomes eligible once
+  // at least one of its own tasks has finished, and estimates are compared
+  // against that stage's average completion time.
   const auto& job_record = api.job(job);
-  double stage_sum[2] = {0.0, 0.0};
-  int stage_count[2] = {0, 0};
+  const auto stages = static_cast<std::size_t>(job_record.spec.num_stages());
+  std::vector<double> stage_sum(stages, 0.0);
+  std::vector<int> stage_count(stages, 0);
   for (int t = 0; t < job_record.spec.total_tasks(); ++t) {
     const auto& task_record = job_record.tasks[static_cast<std::size_t>(t)];
     if (task_record.completed) {
-      const int stage = job_record.is_reduce_task(t) ? 1 : 0;
+      const auto stage =
+          static_cast<std::size_t>(job_record.stage_of_task(t));
       stage_sum[stage] += task_record.completion_time;
       ++stage_count[stage];
     }
@@ -56,7 +59,7 @@ void HadoopSpeculation::check(int job, SchedulerApi& api) {
             .extra_attempts_launched > 0) {
       continue;  // already speculated
     }
-    const int stage = record.is_reduce_task(task) ? 1 : 0;
+    const auto stage = static_cast<std::size_t>(record.stage_of_task(task));
     if (stage_count[stage] == 0) {
       continue;  // no finished task in this stage yet
     }

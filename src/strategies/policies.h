@@ -20,8 +20,9 @@
 //                straggler and launch r+1 copies resuming from the Eq. 31
 //                byte offset; at tau_kill keep the best attempt.
 //
-// The Chronos policies read r, tau_est and tau_kill from the JobSpec; the
-// optimal r is computed per job by core::optimize (see trace::plan_job).
+// The Chronos policies read r, tau_est and tau_kill from each StageSpec of
+// the job; the optimal r is computed per stage by core::optimize (see
+// trace::plan_job).
 #pragma once
 
 #include <memory>
@@ -104,40 +105,42 @@ class Mantri final : public mapreduce::SpeculationPolicy {
   PolicyOptions options_;
 };
 
-/// Stage selector for policies that run once per stage (the paper applies
-/// each strategy to the map and reduce phases separately).
-enum class Stage { kMap, kReduce };
+// The Chronos policies run once per stage: every stage arms its own
+// tau_est / tau_kill timers (relative to the stage's start) when the
+// scheduler fires on_stage_start — the paper applies each strategy to the
+// map and reduce phases separately, which generalizes verbatim to DAGs.
 
 class Clone final : public mapreduce::SpeculationPolicy {
  public:
   std::string name() const override { return "Clone"; }
-  int initial_attempts(const mapreduce::JobSpec& spec) const override {
-    return static_cast<int>(spec.r) + 1;
+  int initial_attempts(const mapreduce::JobSpec& spec,
+                       int stage) const override {
+    return static_cast<int>(spec.stage(stage).r) + 1;
   }
-  void on_job_start(int job, mapreduce::SchedulerApi& api) override;
-  void on_reduce_stage_start(int job, mapreduce::SchedulerApi& api) override;
+  void on_stage_start(int job, int stage,
+                      mapreduce::SchedulerApi& api) override;
 };
 
 class SpeculativeRestart final : public mapreduce::SpeculationPolicy {
  public:
   std::string name() const override { return "S-Restart"; }
-  void on_job_start(int job, mapreduce::SchedulerApi& api) override;
-  void on_reduce_stage_start(int job, mapreduce::SchedulerApi& api) override;
+  void on_stage_start(int job, int stage,
+                      mapreduce::SchedulerApi& api) override;
 
  private:
-  void detect(int job, Stage stage, mapreduce::SchedulerApi& api);
-  void reap(int job, Stage stage, mapreduce::SchedulerApi& api);
+  void detect(int job, int stage, mapreduce::SchedulerApi& api);
+  void reap(int job, int stage, mapreduce::SchedulerApi& api);
 };
 
 class SpeculativeResume final : public mapreduce::SpeculationPolicy {
  public:
   std::string name() const override { return "S-Resume"; }
-  void on_job_start(int job, mapreduce::SchedulerApi& api) override;
-  void on_reduce_stage_start(int job, mapreduce::SchedulerApi& api) override;
+  void on_stage_start(int job, int stage,
+                      mapreduce::SchedulerApi& api) override;
 
  private:
-  void detect(int job, Stage stage, mapreduce::SchedulerApi& api);
-  void reap(int job, Stage stage, mapreduce::SchedulerApi& api);
+  void detect(int job, int stage, mapreduce::SchedulerApi& api);
+  void reap(int job, int stage, mapreduce::SchedulerApi& api);
 };
 
 /// Shared helper: id of the earliest-launched active attempt of `task`,

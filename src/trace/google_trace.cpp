@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -25,12 +26,25 @@ void TraceConfig::validate() const {
   CHRONOS_EXPECTS(jvm_mean >= 0.0 && jvm_jitter >= 0.0 &&
                       jvm_jitter <= jvm_mean + 1e-12,
                   "invalid JVM model");
+  for (std::size_t i = 0; i < extra_stages.size(); ++i) {
+    const auto& st = extra_stages[i];
+    CHRONOS_EXPECTS(st.num_tasks >= 1, "extra stage needs >= 1 task");
+    CHRONOS_EXPECTS(st.t_min > 0.0 && st.beta > 1.0,
+                    "extra stage needs t_min > 0 and beta > 1");
+    for (const int dep : st.deps) {
+      // Deps are in final job numbering: stage 0 is the sampled root, this
+      // template is stage i + 1.
+      CHRONOS_EXPECTS(dep >= 0 && dep < static_cast<int>(i) + 1,
+                      "extra stage dep must reference an earlier stage");
+    }
+  }
 }
 
 mapreduce::JobSpec sample_job_spec(const TraceConfig& config, int job_id,
                                    Rng& rng) {
   mapreduce::JobSpec spec;
   spec.job_id = job_id;
+  auto& root = spec.stage(0);
 
   // Lognormal task count with the requested mean:
   // E[exp(mu + sigma Z)] = exp(mu + sigma^2/2) = mean_tasks.
@@ -38,20 +52,33 @@ mapreduce::JobSpec sample_job_spec(const TraceConfig& config, int job_id,
   const double mu = std::log(config.mean_tasks) - 0.5 * sigma * sigma;
   const auto tasks =
       static_cast<int>(std::llround(std::exp(mu + sigma * rng.normal())));
-  spec.num_tasks = std::clamp(tasks, config.min_tasks, config.max_tasks);
+  root.num_tasks = std::clamp(tasks, config.min_tasks, config.max_tasks);
 
   // Per-job duration model: log-uniform scale, uniform tail index.
-  spec.t_min = std::exp(
+  root.t_min = std::exp(
       rng.uniform(std::log(config.t_min_lo), std::log(config.t_min_hi)));
-  spec.beta = rng.uniform(config.beta_lo, config.beta_hi);
+  root.beta = rng.uniform(config.beta_lo, config.beta_hi);
 
-  const double mean_exec = spec.t_min * spec.beta / (spec.beta - 1.0);
+  const double mean_exec = root.t_min * root.beta / (root.beta - 1.0);
   const double factor =
       rng.uniform(config.deadline_factor_lo, config.deadline_factor_hi);
   spec.deadline = factor * mean_exec;
 
   spec.jvm_mean = config.jvm_mean;
   spec.jvm_jitter = config.jvm_jitter;
+
+  // Stage templates ride along verbatim — deliberately after every RNG
+  // draw and drawing nothing themselves, so the root-stage stream (and
+  // thus every map-only golden) is untouched by their presence. The
+  // sampled deadline factor budgets the whole pipeline: each extra stage
+  // extends the root-only deadline by its own mean execution time
+  // (deterministic, so again no stream perturbation).
+  double extra_exec = 0.0;
+  for (const auto& extra : config.extra_stages) {
+    spec.stages.push_back(extra);
+    extra_exec += extra.t_min * extra.beta / (extra.beta - 1.0);
+  }
+  spec.deadline += factor * extra_exec;
   return spec;
 }
 
@@ -82,7 +109,7 @@ std::vector<TracedJob> generate_trace(const TraceConfig& config) {
 std::int64_t total_tasks(const std::vector<TracedJob>& jobs) {
   std::int64_t total = 0;
   for (const auto& job : jobs) {
-    total += job.spec.num_tasks;
+    total += job.spec.total_tasks();
   }
   return total;
 }

@@ -48,6 +48,14 @@ struct TraceConfig {
   double jvm_mean = 2.0;
   double jvm_jitter = 1.0;
 
+  /// Deterministic stage templates appended after the sampled root stage:
+  /// stages[0] of every job is sampled as above, then each entry here
+  /// becomes stage 1, 2, ... verbatim (its `deps` indices refer to the
+  /// final stage numbering, where 0 is the sampled root). No RNG is drawn
+  /// for them, so map-only traces (`extra_stages` empty) are bit-identical
+  /// to traces generated before staged jobs existed.
+  std::vector<mapreduce::StageSpec> extra_stages;
+
   std::uint64_t seed = 42;
 
   void validate() const;

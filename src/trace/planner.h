@@ -27,13 +27,25 @@ struct PlannerConfig {
   core::OptimizerOptions optimizer;
 };
 
-/// Analytic-model view of one job under a given planner configuration.
+/// Analytic-model view of one stage under its deadline share.
+core::JobParams stage_job_params(const mapreduce::StageSpec& stage,
+                                 double deadline, const PlannerConfig& config,
+                                 core::Strategy strategy);
+
+/// Economics for one stage: spot price at submission plus the run's theta
+/// and R_min policy (baseline PoCD evaluated against the stage's own shape
+/// and deadline share).
+core::Economics stage_economics(const mapreduce::StageSpec& stage,
+                                double deadline, const PlannerConfig& config,
+                                double price);
+
+/// Analytic-model view of a single-stage job (stage 0 under the full job
+/// deadline); the serve layer keys its plan cache off this view.
 core::JobParams to_job_params(const mapreduce::JobSpec& spec,
                               const PlannerConfig& config,
                               core::Strategy strategy);
 
-/// Economics for one job: spot price at submission plus the run's theta and
-/// R_min policy.
+/// Economics for a single-stage job.
 core::Economics to_economics(const mapreduce::JobSpec& spec,
                              const PlannerConfig& config, double price);
 
@@ -46,12 +58,14 @@ core::Strategy analytic_strategy(strategies::PolicyKind kind);
 /// analytic strategy (total on core::Strategy).
 strategies::PolicyKind policy_of(core::Strategy strategy);
 
-/// Price-free planning core: fills spec.price (from the given spot price),
-/// spec.tau_est/tau_kill, and — for Chronos policies — spec.r via the
+/// Price-free planning core: fills spec.price (from the given spot price)
+/// and, per stage, tau_est/tau_kill plus — for Chronos policies — r via the
 /// Algorithm-1 optimizer. Baseline policies get r = 0 and the timer fields
-/// only. Every planning path (closed-system plan_job, the serve::
-/// PlannerService) funnels through this, so *when* a job is priced is
-/// decided exactly once by the caller handing over `price`.
+/// only. Multi-stage jobs go through the critical-path deadline split (see
+/// plan_staged_spec); the returned result is stage 0's. Every planning path
+/// (closed-system plan_job, the serve::PlannerService) funnels through
+/// this, so *when* a job is priced is decided exactly once by the caller
+/// handing over `price`.
 core::OptimizationResult plan_spec(mapreduce::JobSpec& spec,
                                    strategies::PolicyKind policy,
                                    const PlannerConfig& config, double price);
@@ -73,22 +87,35 @@ void plan_trace(std::vector<TracedJob>& jobs, strategies::PolicyKind policy,
 /// Requires N >= 1, beta > 1.
 double expected_stage_makespan(int num_tasks, double t_min, double beta);
 
-/// Result of planning a two-stage (map + reduce) job.
-struct TwoStagePlan {
-  double map_deadline = 0.0;     ///< share of the job deadline for maps
-  double reduce_deadline = 0.0;  ///< remainder for the reduce stage
-  core::OptimizationResult map;
-  core::OptimizationResult reduce;
+/// Critical-path proportional deadline split. Each stage's expected
+/// makespan is chained through the dependency DAG; the stage deadline is
+/// deadline * span_s / L where L is the longest (critical) path's total
+/// expected makespan. Stages on the critical path get shares that sum to
+/// the whole deadline; off-path stages get proportionally generous slack.
+/// For a two-stage barrier chain this reduces to the classic proportional
+/// map/reduce split. Requires every stage beta > 1.
+std::vector<double> critical_path_split(const mapreduce::JobSpec& spec);
+
+/// Result of planning a staged job: one deadline share and one optimizer
+/// result per stage (results are default-constructed for non-analytic
+/// policies, which take r = 0 and timer fields only).
+struct StagedPlan {
+  std::vector<double> stage_deadlines;
+  std::vector<core::OptimizationResult> stages;
 };
 
-/// Plans a job with reduce_tasks > 0 for a Chronos policy: splits the job
-/// deadline across the stages in proportion to their expected makespans and
-/// optimizes r independently per stage (§III: map and reduce PoCD are
-/// optimized separately). Fills r, reduce_r and both stages' tau fields.
-/// For map-only jobs, falls back to plan_job.
-TwoStagePlan plan_two_stage_job(TracedJob& job,
-                                strategies::PolicyKind policy,
-                                const PlannerConfig& config,
-                                const SpotPriceModel& prices);
+/// Plans every stage of a job: splits the deadline along the critical path
+/// and runs one optimize() per stage (§III: stage PoCDs are optimized
+/// separately), sharing SharedAnalytics across same-shape stages. Fills
+/// each stage's r and tau fields in place. Single-stage jobs use spec.
+/// deadline directly and are bit-identical to the historical plan_spec.
+StagedPlan plan_staged_spec(mapreduce::JobSpec& spec,
+                            strategies::PolicyKind policy,
+                            const PlannerConfig& config, double price);
+
+/// plan_staged_spec with the spot price sampled at job.submit_time.
+StagedPlan plan_staged_job(TracedJob& job, strategies::PolicyKind policy,
+                           const PlannerConfig& config,
+                           const SpotPriceModel& prices);
 
 }  // namespace chronos::trace

@@ -20,10 +20,10 @@ mapreduce::JobSpec WorkloadProfile::make_job(int job_id, int num_tasks) const {
                   "profile JVM model invalid (need 0 <= jitter <= mean)");
   mapreduce::JobSpec spec;
   spec.job_id = job_id;
-  spec.num_tasks = num_tasks;
+  spec.stage(0).num_tasks = num_tasks;
+  spec.stage(0).t_min = t_min;
+  spec.stage(0).beta = beta;
   spec.deadline = deadline;
-  spec.t_min = t_min;
-  spec.beta = beta;
   spec.jvm_mean = jvm_mean;
   spec.jvm_jitter = jvm_jitter;
   return spec;

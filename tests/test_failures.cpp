@@ -13,13 +13,13 @@ namespace {
 
 JobSpec failing_job(int tasks = 10) {
   JobSpec spec;
-  spec.num_tasks = tasks;
+  spec.stage(0).num_tasks = tasks;
   spec.deadline = 200.0;
-  spec.t_min = 30.0;
-  spec.beta = 1.5;
-  spec.tau_est = 40.0;
-  spec.tau_kill = 80.0;
-  spec.r = 1;
+  spec.stage(0).t_min = 30.0;
+  spec.stage(0).beta = 1.5;
+  spec.stage(0).tau_est = 40.0;
+  spec.stage(0).tau_kill = 80.0;
+  spec.stage(0).r = 1;
   return spec;
 }
 
@@ -73,7 +73,7 @@ TEST(Failures, FailedAttemptsAreRetried) {
   // sole-attempt tasks; with Hadoop-NS there is exactly one active attempt
   // per task at any time, so launches == tasks + failures.
   EXPECT_EQ(job.attempts_launched,
-            job.spec.num_tasks + job.attempts_failed);
+            job.spec.stage(0).num_tasks + job.attempts_failed);
 }
 
 TEST(Failures, MachineTimeIncludesCrashedWork) {

@@ -41,10 +41,10 @@ TEST(Harness, SingleJobTrace) {
   TracedJob job;
   job.submit_time = 10.0;
   job.spec.job_id = 99;
-  job.spec.num_tasks = 5;
+  job.spec.stage(0).num_tasks = 5;
   job.spec.deadline = 200.0;
-  job.spec.t_min = 30.0;
-  job.spec.beta = 1.5;
+  job.spec.stage(0).t_min = 30.0;
+  job.spec.stage(0).beta = 1.5;
   const auto config = ExperimentConfig::large_scale(PolicyKind::kHadoopNS);
   const auto result = run_experiment({job}, config);
   EXPECT_EQ(result.metrics.jobs(), 1u);
@@ -73,10 +73,10 @@ TEST(Harness, ResultAccessorsMatchMetrics) {
 TEST(Harness, DifferentSeedsProduceDifferentRuns) {
   TracedJob job;
   job.submit_time = 0.0;
-  job.spec.num_tasks = 20;
+  job.spec.stage(0).num_tasks = 20;
   job.spec.deadline = 200.0;
-  job.spec.t_min = 30.0;
-  job.spec.beta = 1.5;
+  job.spec.stage(0).t_min = 30.0;
+  job.spec.stage(0).beta = 1.5;
   const auto a = run_experiment(
       {job}, ExperimentConfig::large_scale(PolicyKind::kHadoopNS, 1));
   const auto b = run_experiment(

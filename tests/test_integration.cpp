@@ -85,7 +85,7 @@ TEST(Integration, MachineTimeBoundedBelowByWork) {
   const auto result = run_experiment(jobs, config);
   std::map<int, double> min_work;
   for (const auto& job : jobs) {
-    min_work[job.spec.job_id] = job.spec.num_tasks * job.spec.t_min;
+    min_work[job.spec.job_id] = job.spec.stage(0).num_tasks * job.spec.stage(0).t_min;
   }
   for (const auto& outcome : result.metrics.outcomes()) {
     EXPECT_GE(outcome.machine_time, 0.99 * min_work[outcome.job_id]);

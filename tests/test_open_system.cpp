@@ -82,6 +82,27 @@ TEST(OpenSystemLaws, UtilizationMatchesOfferedLoad) {
   EXPECT_NEAR(result.utilization, expected, 0.08 * expected);
 }
 
+TEST(OpenSystemLaws, HeterogeneousFleetUtilizationLaw) {
+  // Speed-class law: on a fleet of half full-speed and half half-speed
+  // nodes, the grant path balances per-node busy counts (pick_node takes
+  // the most-free node), so in the under-loaded regime every node carries
+  // the same busy count B and work conservation fixes it:
+  //   sum_n s_n * B = lambda * E[S]  =>  u = lambda * E[S] / sum_c C_c s_c.
+  // Here E[S] = 8 tasks * 20/3 s of speed-1 work per job and the
+  // speed-weighted capacity is 8 * (16 * 1.0 + 16 * 0.5) = 192.
+  auto config = base_config(0.5, 32, 8);
+  for (int n = 16; n < 32; ++n) {
+    config.cluster.nodes[static_cast<std::size_t>(n)].speed = 0.5;
+  }
+  const auto result = sim::run_open_system(config);
+  const double expected = 0.5 * 8.0 * kTaskMean / 192.0;
+  EXPECT_GT(result.metrics.jobs(), 1000u);
+  EXPECT_NEAR(result.utilization, expected, 0.10 * expected);
+  // Sanity: the mixed fleet is busier than the all-fast fleet under the
+  // same offered load (it has less speed-weighted capacity).
+  EXPECT_GT(result.utilization, 0.5 * 8.0 * kTaskMean / 256.0);
+}
+
 TEST(OpenSystemLaws, LittlesLaw) {
   // L = lambda_admitted * W over the same measurement window. Moderate load
   // keeps sojourns short relative to the window so edge effects stay small.
@@ -167,37 +188,42 @@ TEST(OpenSystemAdmission, ControllerDoesNotPerturbArrivalStream) {
             sim::run_open_system(off).arrivals);
 }
 
-TEST(OpenSystemAdmission, DegradeCountsReduceStageSpeculation) {
+TEST(OpenSystemAdmission, DegradeCountsEveryStagesSpeculation) {
   // Regression: the headroom rule used to size speculative demand from the
-  // map stage alone (r * num_tasks), so a reduce-dominated job with heavy
-  // reduce-stage speculation sailed through undegraded. One map task with
-  // r = 0 but 100 reduce tasks at reduce_r = 5 demands 500 speculative
+  // root stage alone (r * num_tasks), so a job dominated by a later stage
+  // with heavy speculation sailed through undegraded. One map task with
+  // r = 0 but 100 reduce tasks at r = 5 demands 500 speculative
   // containers — far beyond any headroom — and must degrade.
   sim::AdmissionConfig admission;
   admission.enabled = true;
   mapreduce::JobSpec spec;
-  spec.num_tasks = 1;
-  spec.r = 0;
-  spec.reduce_tasks = 100;
-  spec.reduce_r = 5;
+  spec.stage(0).num_tasks = 1;
+  spec.stage(0).r = 0;
+  spec.add_reduce_stage(/*reduce_tasks=*/100, /*reduce_t_min=*/0.0,
+                        /*reduce_beta=*/0.0, /*reduce_r=*/5);
   EXPECT_EQ(sim::admission_decide(admission, spec, /*backlog=*/0.0,
                                   /*idle_containers=*/8.0,
                                   /*total_containers=*/1000.0),
             sim::AdmissionDecision::kDegrade);
   // The same job with the reduce stage's speculation turned off fits.
-  spec.reduce_r = 0;
+  spec.stage(1).r = 0;
   EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 8.0, 1000.0),
             sim::AdmissionDecision::kAdmit);
-  // reduce_r = -1 inherits the map-stage r: 3 * (1 + 100) = 303 demanded.
-  spec.r = 3;
-  spec.reduce_r = -1;
-  EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 8.0, 1000.0),
+  // The legacy reduce_r = -1 sentinel inherits the map-stage r at
+  // construction: 3 * (1 + 100) = 303 demanded.
+  mapreduce::JobSpec inherited;
+  inherited.stage(0).num_tasks = 1;
+  inherited.stage(0).r = 3;
+  inherited.add_reduce_stage(/*reduce_tasks=*/100);
+  EXPECT_EQ(sim::admission_decide(admission, inherited, 0.0, 8.0, 1000.0),
             sim::AdmissionDecision::kDegrade);
-  EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 400.0, 1000.0),
+  EXPECT_EQ(sim::admission_decide(admission, inherited, 0.0, 400.0, 1000.0),
             sim::AdmissionDecision::kAdmit);
   // Map-only jobs behave exactly as before the fix.
-  spec.reduce_tasks = 0;
-  EXPECT_EQ(sim::admission_decide(admission, spec, 0.0, 8.0, 1000.0),
+  mapreduce::JobSpec map_only;
+  map_only.stage(0).num_tasks = 1;
+  map_only.stage(0).r = 3;
+  EXPECT_EQ(sim::admission_decide(admission, map_only, 0.0, 8.0, 1000.0),
             sim::AdmissionDecision::kAdmit);
 }
 

@@ -12,9 +12,9 @@ TracedJob sample_job() {
   TracedJob job;
   job.submit_time = 1000.0;
   job.spec.job_id = 3;
-  job.spec.num_tasks = 100;
-  job.spec.t_min = 30.0;
-  job.spec.beta = 1.5;
+  job.spec.stage(0).num_tasks = 100;
+  job.spec.stage(0).t_min = 30.0;
+  job.spec.stage(0).beta = 1.5;
   job.spec.deadline = 180.0;  // 2 x mean (mean = 90)
   return job;
 }
@@ -46,10 +46,10 @@ TEST(Planner, EconomicsUsesBaselinePocdAsRmin) {
   const auto spec = sample_job().spec;
   const auto econ = to_economics(spec, config, 0.4);
   core::JobParams baseline;
-  baseline.num_tasks = spec.num_tasks;
+  baseline.num_tasks = spec.stage(0).num_tasks;
   baseline.deadline = spec.deadline;
-  baseline.t_min = spec.t_min;
-  baseline.beta = spec.beta;
+  baseline.t_min = spec.stage(0).t_min;
+  baseline.beta = spec.stage(0).beta;
   EXPECT_NEAR(econ.r_min, core::pocd_no_speculation(baseline), 1e-12);
   EXPECT_EQ(econ.price, 0.4);
 }
@@ -83,10 +83,10 @@ TEST(Planner, PlanJobFillsChronosFields) {
   EXPECT_TRUE(result.feasible);
   EXPECT_GT(job.spec.price, 0.0);
   EXPECT_EQ(job.spec.price, prices.price_at(1000.0));
-  EXPECT_EQ(job.spec.r, result.r_opt);
-  EXPECT_GT(job.spec.r, 0);  // deadline-sensitive job wants speculation
-  EXPECT_NEAR(job.spec.tau_est, 9.0, 1e-12);
-  EXPECT_NEAR(job.spec.tau_kill, 24.0, 1e-12);
+  EXPECT_EQ(job.spec.stage(0).r, result.r_opt);
+  EXPECT_GT(job.spec.stage(0).r, 0);  // deadline-sensitive job wants speculation
+  EXPECT_NEAR(job.spec.stage(0).tau_est, 9.0, 1e-12);
+  EXPECT_NEAR(job.spec.stage(0).tau_kill, 24.0, 1e-12);
 }
 
 TEST(Planner, BaselinePoliciesGetPriceOnly) {
@@ -95,7 +95,7 @@ TEST(Planner, BaselinePoliciesGetPriceOnly) {
   const SpotPriceModel prices;
   const auto result =
       plan_job(job, strategies::PolicyKind::kMantri, config, prices);
-  EXPECT_EQ(job.spec.r, 0);
+  EXPECT_EQ(job.spec.stage(0).r, 0);
   EXPECT_GT(job.spec.price, 0.0);
   EXPECT_EQ(result.r_opt, 0);
 }
@@ -110,8 +110,8 @@ TEST(Planner, HigherThetaNeverIncreasesR) {
       PlannerConfig config;
       config.theta = theta;
       plan_job(job, policy, config, prices);
-      EXPECT_LE(job.spec.r, prev_r) << "theta=" << theta;
-      prev_r = job.spec.r;
+      EXPECT_LE(job.spec.stage(0).r, prev_r) << "theta=" << theta;
+      prev_r = job.spec.stage(0).r;
     }
   }
 }
@@ -126,7 +126,7 @@ TEST(Planner, PlanTracePlansEveryJob) {
   plan_trace(jobs, strategies::PolicyKind::kSRestart, config, prices);
   for (const auto& job : jobs) {
     EXPECT_GT(job.spec.price, 0.0);
-    EXPECT_GT(job.spec.tau_kill, job.spec.tau_est);
+    EXPECT_GT(job.spec.stage(0).tau_kill, job.spec.stage(0).tau_est);
     EXPECT_NO_THROW(job.spec.validate());
   }
 }

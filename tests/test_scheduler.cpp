@@ -18,12 +18,12 @@ namespace {
 JobSpec small_job(int tasks = 4) {
   JobSpec spec;
   spec.job_id = 0;
-  spec.num_tasks = tasks;
+  spec.stage(0).num_tasks = tasks;
   spec.deadline = 120.0;
-  spec.t_min = 30.0;
-  spec.beta = 1.5;
-  spec.tau_est = 40.0;
-  spec.tau_kill = 80.0;
+  spec.stage(0).t_min = 30.0;
+  spec.stage(0).beta = 1.5;
+  spec.stage(0).tau_est = 40.0;
+  spec.stage(0).tau_kill = 80.0;
   spec.price = 2.0;
   return spec;
 }
@@ -145,7 +145,7 @@ TEST(Scheduler, JvmStartupDelaysProgress) {
 class KillAtTime final : public SpeculationPolicy {
  public:
   std::string name() const override { return "test-kill"; }
-  int initial_attempts(const JobSpec&) const override { return 2; }
+  int initial_attempts(const JobSpec&, int) const override { return 2; }
   void on_job_start(int job, SchedulerApi& api) override {
     api.schedule_after(1.0, [job, &api] {
       // Kill the second attempt of task 0 early.
@@ -183,8 +183,8 @@ TEST(Scheduler, SiblingAttemptsKilledOnTaskCompletion) {
   sim::Cluster cluster(sim::ClusterConfig::uniform(2, node));
   strategies::Clone policy;
   auto spec = small_job(3);
-  spec.r = 2;  // 3 attempts per task
-  spec.tau_kill = 1e9;  // never reap: completion does the killing
+  spec.stage(0).r = 2;  // 3 attempts per task
+  spec.stage(0).tau_kill = 1e9;  // never reap: completion does the killing
   Scheduler scheduler(simulator, cluster, policy, SchedulerConfig{}, Rng(5));
   scheduler.submit(spec);
   simulator.run();
@@ -207,7 +207,7 @@ TEST(Scheduler, SiblingAttemptsKilledOnTaskCompletion) {
 TEST(Scheduler, RejectsInvalidSpec) {
   Rig rig;
   auto spec = small_job();
-  spec.num_tasks = 0;
+  spec.stage(0).num_tasks = 0;
   EXPECT_THROW(rig.scheduler.submit(spec), PreconditionError);
 }
 

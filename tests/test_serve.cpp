@@ -38,9 +38,9 @@ using serve::PlanRequest;
 mapreduce::JobSpec make_spec(int num_tasks, double t_min, double beta,
                              double deadline) {
   mapreduce::JobSpec spec;
-  spec.num_tasks = num_tasks;
-  spec.t_min = t_min;
-  spec.beta = beta;
+  spec.stage(0).num_tasks = num_tasks;
+  spec.stage(0).t_min = t_min;
+  spec.stage(0).beta = beta;
   spec.deadline = deadline;
   return spec;
 }
@@ -63,13 +63,16 @@ PlanRequest request_for(mapreduce::JobSpec& spec, double price,
   return request;
 }
 
-/// Bitwise equality of every field the planner writes.
+/// Bitwise equality of every field the planner writes, on every stage.
 void expect_same_plan(const mapreduce::JobSpec& a,
                       const mapreduce::JobSpec& b) {
   EXPECT_EQ(a.price, b.price);
-  EXPECT_EQ(a.tau_est, b.tau_est);
-  EXPECT_EQ(a.tau_kill, b.tau_kill);
-  EXPECT_EQ(a.r, b.r);
+  ASSERT_EQ(a.num_stages(), b.num_stages());
+  for (int s = 0; s < a.num_stages(); ++s) {
+    EXPECT_EQ(a.stage(s).tau_est, b.stage(s).tau_est) << "stage " << s;
+    EXPECT_EQ(a.stage(s).tau_kill, b.stage(s).tau_kill) << "stage " << s;
+    EXPECT_EQ(a.stage(s).r, b.stage(s).r) << "stage " << s;
+  }
 }
 
 // --- exact mode: bit identity with uncached planning ------------------------
@@ -135,11 +138,11 @@ TEST(PlannerService, AutoModeMatchesOptimizeAll) {
     EXPECT_EQ(reply.feasible, best.result.feasible);
   }
   expect_same_plan(cold, warm);
-  EXPECT_EQ(cold.r, best.result.feasible ? best.result.r_opt : 1);
-  EXPECT_EQ(cold.tau_kill, params.tau_kill);
-  EXPECT_EQ(cold.tau_est, best.strategy == core::Strategy::kClone
-                              ? 0.0
-                              : params.tau_est);
+  EXPECT_EQ(cold.stage(0).r, best.result.feasible ? best.result.r_opt : 1);
+  EXPECT_EQ(cold.stage(0).tau_kill, params.tau_kill);
+  EXPECT_EQ(cold.stage(0).tau_est, best.strategy == core::Strategy::kClone
+                                       ? 0.0
+                                       : params.tau_est);
 }
 
 TEST(PlannerService, OffModeNeverCaches) {
@@ -178,7 +181,7 @@ TEST(PlannerService, QuantizedHitKeepsTheRequestsOwnPrice) {
   EXPECT_TRUE(hit.cache_hit);
   EXPECT_EQ(first.price, 1.0);
   EXPECT_EQ(second.price, 1.04);  // its own clock, not the cached job's
-  EXPECT_EQ(first.r, second.r);   // but the same shared plan
+  EXPECT_EQ(first.stage(0).r, second.stage(0).r);  // same shared plan
 }
 
 // --- quantization-boundary bucketing ----------------------------------------
@@ -221,11 +224,110 @@ TEST(PlanCacheQuantization, ServiceKeysBucketJobsTogether) {
   EXPECT_FALSE(service.plan(req_a).cache_hit);
   EXPECT_TRUE(service.plan(req_b).cache_hit);   // same bucket: shared plan
   EXPECT_FALSE(service.plan(req_c).cache_hit);  // new bucket: own plan
-  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.stage(0).r, b.stage(0).r);
   // Different planning modes never share a bucket even on equal shapes.
   auto d = a;
   auto req_d = request_for(d, 0.4, true, strategies::PolicyKind::kSResume);
   EXPECT_FALSE(service.make_key(req_a) == service.make_key(req_d));
+}
+
+// --- staged keys (regression) -----------------------------------------------
+
+TEST(PlannerService, KeyCoversEveryStagesFields) {
+  // Regression: the cache key used to encode only the root stage's shape,
+  // so two jobs differing only in their reduce stage hashed identically and
+  // the second arrival was served the first one's plan. Every stage field
+  // must enter the key.
+  PlannerService service(service_config(CacheMode::kExact));
+  auto base = make_spec(50, 20.0, 1.8, 240.0);
+  base.add_reduce_stage(/*reduce_tasks=*/10, /*reduce_t_min=*/45.0,
+                        /*reduce_beta=*/1.7, /*reduce_r=*/0);
+  auto wider = make_spec(50, 20.0, 1.8, 240.0);
+  wider.add_reduce_stage(/*reduce_tasks=*/25, /*reduce_t_min=*/45.0,
+                         /*reduce_beta=*/1.7, /*reduce_r=*/0);
+  auto slower = make_spec(50, 20.0, 1.8, 240.0);
+  slower.add_reduce_stage(/*reduce_tasks=*/10, /*reduce_t_min=*/60.0,
+                          /*reduce_beta=*/1.7, /*reduce_r=*/0);
+  auto req_base =
+      request_for(base, 0.4, false, strategies::PolicyKind::kSResume);
+  auto req_wider =
+      request_for(wider, 0.4, false, strategies::PolicyKind::kSResume);
+  auto req_slower =
+      request_for(slower, 0.4, false, strategies::PolicyKind::kSResume);
+  EXPECT_FALSE(service.make_key(req_base) == service.make_key(req_wider));
+  EXPECT_FALSE(service.make_key(req_base) == service.make_key(req_slower));
+  // And through the service: the differing job must NOT hit base's entry.
+  EXPECT_FALSE(service.plan(req_base).cache_hit);
+  EXPECT_FALSE(service.plan(req_wider).cache_hit);
+  EXPECT_FALSE(service.plan(req_slower).cache_hit);
+}
+
+TEST(PlannerService, KeyCoversStageWiring) {
+  // Two three-stage jobs with identical stage shapes but different DAG
+  // edges (chain vs fan-in from the root) must never share a plan.
+  PlannerService service(service_config(CacheMode::kExact));
+  auto chain = make_spec(20, 20.0, 1.8, 300.0);
+  chain.add_reduce_stage(10, 40.0, 1.6, 0);
+  chain.add_reduce_stage(5, 30.0, 1.5, 0);  // deps default: {1}
+  auto fan = make_spec(20, 20.0, 1.8, 300.0);
+  fan.add_reduce_stage(10, 40.0, 1.6, 0);
+  fan.add_reduce_stage(5, 30.0, 1.5, 0);
+  fan.stage(2).deps = {0};  // same shapes, different wiring
+  auto req_chain =
+      request_for(chain, 0.4, false, strategies::PolicyKind::kSResume);
+  auto req_fan =
+      request_for(fan, 0.4, false, strategies::PolicyKind::kSResume);
+  EXPECT_FALSE(service.make_key(req_chain) == service.make_key(req_fan));
+}
+
+TEST(PlannerService, StagedExactHitsMatchStagedPlanning) {
+  // A staged job through an exact-key service twice: the second pass is a
+  // hit and every per-stage planned field equals the uncached
+  // trace::plan_staged_spec output, bit for bit.
+  PlannerService service(service_config(CacheMode::kExact));
+  const trace::PlannerConfig planner = service.config().planner;
+  auto cold = make_spec(40, 25.0, 1.4, 500.0);
+  cold.add_reduce_stage(10, 45.0, 1.7);
+  auto warm = cold;
+  auto reference = cold;
+  const PlanReply miss = service.plan(
+      request_for(cold, 0.4, false, strategies::PolicyKind::kSResume));
+  const PlanReply hit = service.plan(
+      request_for(warm, 0.4, false, strategies::PolicyKind::kSResume));
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_TRUE(hit.cache_hit);
+  trace::plan_staged_spec(reference, strategies::PolicyKind::kSResume,
+                          planner, 0.4);
+  expect_same_plan(cold, reference);
+  expect_same_plan(warm, reference);
+  EXPECT_EQ(miss.r, reference.stage(0).r);
+}
+
+TEST(PlannerService, WideDagsBypassTheCache) {
+  // Jobs wider than kMaxKeyStages cannot be keyed: they are planned from
+  // scratch per request (correctly), never counting hits or misses.
+  PlannerService service(service_config(CacheMode::kExact));
+  const trace::PlannerConfig planner = service.config().planner;
+  auto spec = make_spec(8, 25.0, 1.4, 900.0);
+  for (int s = 0; s < serve::kMaxKeyStages; ++s) {
+    spec.add_reduce_stage(4, 30.0, 1.5);
+  }
+  ASSERT_GT(spec.num_stages(), serve::kMaxKeyStages);
+  auto reference = spec;
+  for (int i = 0; i < 2; ++i) {
+    auto copy = spec;
+    const PlanReply reply = service.plan(
+        request_for(copy, 0.4, false, strategies::PolicyKind::kSResume));
+    EXPECT_FALSE(reply.cache_hit);
+    trace::plan_staged_spec(reference, strategies::PolicyKind::kSResume,
+                            planner, 0.4);
+    expect_same_plan(copy, reference);
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.cache_size, 0u);
 }
 
 // --- batch API ---------------------------------------------------------------
@@ -313,33 +415,34 @@ TEST(PlanCacheTable, InsertFindRoundTrip) {
   PlanCache cache(64);
   PlanKey key;
   key.mode = 2;
-  key.num_tasks = 50;
-  key.t_min = 123;
+  key.num_stages = 1;
+  key.stages[0].num_tasks = 50;
+  key.stages[0].t_min = 123;
   EXPECT_EQ(cache.find(key), nullptr);
-  EXPECT_TRUE(cache.insert(key, CachedPlan{strategies::PolicyKind::kClone,
-                                           3, true}));
+  EXPECT_TRUE(cache.insert(
+      key, CachedPlan{strategies::PolicyKind::kClone, 1, {3}, true}));
   const CachedPlan* found = cache.find(key);
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->kind, strategies::PolicyKind::kClone);
-  EXPECT_EQ(found->r, 3);
+  EXPECT_EQ(found->r[0], 3);
   EXPECT_TRUE(found->feasible);
   // Re-inserting the same key reports failure and keeps the first value.
-  EXPECT_FALSE(cache.insert(key, CachedPlan{strategies::PolicyKind::kMantri,
-                                            9, false}));
-  EXPECT_EQ(cache.find(key)->r, 3);
+  EXPECT_FALSE(cache.insert(
+      key, CachedPlan{strategies::PolicyKind::kMantri, 1, {9}, false}));
+  EXPECT_EQ(cache.find(key)->r[0], 3);
   EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(PlanCacheTable, FullTableDropsInsertsButStaysCorrect) {
   PlanCache cache(1);  // a single slot: the second distinct key must drop
   PlanKey a;
-  a.t_min = 1;
+  a.stages[0].t_min = 1;
   PlanKey b;
-  b.t_min = 2;
-  EXPECT_TRUE(cache.insert(a, CachedPlan{strategies::PolicyKind::kClone,
-                                         1, true}));
-  EXPECT_FALSE(cache.insert(b, CachedPlan{strategies::PolicyKind::kClone,
-                                          2, true}));
+  b.stages[0].t_min = 2;
+  EXPECT_TRUE(cache.insert(
+      a, CachedPlan{strategies::PolicyKind::kClone, 1, {1}, true}));
+  EXPECT_FALSE(cache.insert(
+      b, CachedPlan{strategies::PolicyKind::kClone, 1, {2}, true}));
   EXPECT_EQ(cache.size(), 1u);
   ASSERT_NE(cache.find(a), nullptr);
   EXPECT_EQ(cache.find(b), nullptr);
@@ -413,7 +516,7 @@ TEST(PlannerServiceConcurrency, HammerReadersAndInserters) {
           request.auto_strategy = (shape % 2) == 0;
           request.policy = strategies::PolicyKind::kSResume;
           const PlanReply reply = service.plan(request);
-          if (reply.r != spec.r || spec.price != request.price) {
+          if (reply.r != spec.stage(0).r || spec.price != request.price) {
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -449,7 +552,7 @@ TEST(PlannerServiceConcurrency, HammerReadersAndInserters) {
           trace::to_economics(reference, planner, request.price);
       const auto best = core::optimize_all(params, econ, planner.optimizer);
       EXPECT_EQ(reply.kind, trace::policy_of(best.strategy)) << s;
-      EXPECT_EQ(spec.r, best.result.feasible ? best.result.r_opt : 1) << s;
+      EXPECT_EQ(spec.stage(0).r, best.result.feasible ? best.result.r_opt : 1) << s;
     } else {
       trace::plan_spec(reference, request.policy, planner, request.price);
       expect_same_plan(spec, reference);

@@ -20,13 +20,13 @@ using mapreduce::SchedulerConfig;
 
 JobSpec chronos_job(int tasks, long long r) {
   JobSpec spec;
-  spec.num_tasks = tasks;
+  spec.stage(0).num_tasks = tasks;
   spec.deadline = 120.0;
-  spec.t_min = 30.0;
-  spec.beta = 1.3;
-  spec.tau_est = 40.0;
-  spec.tau_kill = 80.0;
-  spec.r = r;
+  spec.stage(0).t_min = 30.0;
+  spec.stage(0).beta = 1.3;
+  spec.stage(0).tau_est = 40.0;
+  spec.stage(0).tau_kill = 80.0;
+  spec.stage(0).r = r;
   return spec;
 }
 
@@ -78,7 +78,7 @@ TEST(HadoopS, SpeculatesOnlyAfterFirstCompletion) {
     first_completion = std::min(first_completion, task.completion_time);
   }
   for (const auto& attempt : job.attempts) {
-    if (attempt.attempt_id >= job.spec.num_tasks) {  // speculative copy
+    if (attempt.attempt_id >= job.spec.stage(0).num_tasks) {  // speculative copy
       EXPECT_GT(attempt.request_time, first_completion);
     }
   }
@@ -111,7 +111,7 @@ TEST(Mantri, LaunchesOnlyWithIdleCapacity) {
     first_completion = std::min(first_completion, task.completion_time);
   }
   for (const auto& attempt : job.attempts) {
-    if (attempt.attempt_id >= job.spec.num_tasks) {
+    if (attempt.attempt_id >= job.spec.stage(0).num_tasks) {
       // Capacity only frees up once some original finishes.
       EXPECT_GT(attempt.request_time, first_completion);
     }
@@ -148,7 +148,7 @@ TEST(Clone, KillsLosersNoLaterThanTauKill) {
   const auto& job = run.job();
   for (const auto& attempt : job.attempts) {
     if (attempt.state == AttemptState::kKilled) {
-      EXPECT_LE(attempt.end_time, job.spec.tau_kill + 1e-9);
+      EXPECT_LE(attempt.end_time, job.spec.stage(0).tau_kill + 1e-9);
     }
   }
 }
@@ -157,8 +157,8 @@ TEST(SRestart, ExtrasLaunchedOnlyAtTauEst) {
   PolicyRun run(PolicyKind::kSRestart, chronos_job(20, 2), 41);
   const auto& job = run.job();
   for (const auto& attempt : job.attempts) {
-    if (attempt.attempt_id >= job.spec.num_tasks) {
-      EXPECT_NEAR(attempt.request_time, job.spec.tau_est, 1e-9);
+    if (attempt.attempt_id >= job.spec.stage(0).num_tasks) {
+      EXPECT_NEAR(attempt.request_time, job.spec.stage(0).tau_est, 1e-9);
       EXPECT_EQ(attempt.start_offset, 0.0);  // restart from byte 0
     } else {
       EXPECT_NEAR(attempt.request_time, 0.0, 1e-9);
@@ -186,7 +186,7 @@ TEST(SRestart, OriginalKeptRunningAfterDetection) {
     // finishes or is killed at tau_kill/task completion, strictly later.
     const auto& original =
         job.attempts[static_cast<std::size_t>(task.attempt_ids.front())];
-    EXPECT_GT(original.end_time, job.spec.tau_est + 1e-9);
+    EXPECT_GT(original.end_time, job.spec.stage(0).tau_est + 1e-9);
   }
 }
 
@@ -200,7 +200,7 @@ TEST(SResume, KillsOriginalAtDetection) {
     const auto& original =
         job.attempts[static_cast<std::size_t>(task.attempt_ids.front())];
     EXPECT_EQ(original.state, AttemptState::kKilled);
-    EXPECT_NEAR(original.end_time, job.spec.tau_est, 1e-9);
+    EXPECT_NEAR(original.end_time, job.spec.stage(0).tau_est, 1e-9);
   }
 }
 
@@ -222,7 +222,7 @@ TEST(SResume, ResumedCopiesSkipProcessedBytes) {
   const auto& job = run.job();
   bool any_resumed = false;
   for (const auto& attempt : job.attempts) {
-    if (attempt.attempt_id >= job.spec.num_tasks) {
+    if (attempt.attempt_id >= job.spec.stage(0).num_tasks) {
       EXPECT_GE(attempt.start_offset, 0.0);
       EXPECT_LT(attempt.start_offset, 1.0);
       any_resumed = any_resumed || attempt.start_offset > 0.0;

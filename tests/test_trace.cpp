@@ -46,9 +46,9 @@ TEST(Workload, HeavyTailRegime) {
 TEST(Workload, MakeJobCopiesProfileFields) {
   const auto spec = benchmark("Sort").make_job(7, 10);
   EXPECT_EQ(spec.job_id, 7);
-  EXPECT_EQ(spec.num_tasks, 10);
+  EXPECT_EQ(spec.stage(0).num_tasks, 10);
   EXPECT_EQ(spec.deadline, 100.0);
-  EXPECT_EQ(spec.t_min, benchmark("Sort").t_min);
+  EXPECT_EQ(spec.stage(0).t_min, benchmark("Sort").t_min);
   EXPECT_NO_THROW(spec.validate());
 }
 
@@ -101,8 +101,8 @@ TEST(GoogleTrace, DeterministicForSeed) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].submit_time, b[i].submit_time);
-    EXPECT_EQ(a[i].spec.num_tasks, b[i].spec.num_tasks);
-    EXPECT_EQ(a[i].spec.t_min, b[i].spec.t_min);
+    EXPECT_EQ(a[i].spec.stage(0).num_tasks, b[i].spec.stage(0).num_tasks);
+    EXPECT_EQ(a[i].spec.stage(0).t_min, b[i].spec.stage(0).t_min);
   }
 }
 
@@ -124,14 +124,14 @@ TEST(GoogleTrace, ParametersWithinConfiguredRanges) {
   for (const auto& job : jobs) {
     EXPECT_GE(job.submit_time, 0.0);
     EXPECT_LT(job.submit_time, horizon);
-    EXPECT_GE(job.spec.num_tasks, config.min_tasks);
-    EXPECT_LE(job.spec.num_tasks, config.max_tasks);
-    EXPECT_GE(job.spec.t_min, config.t_min_lo * (1.0 - 1e-9));
-    EXPECT_LE(job.spec.t_min, config.t_min_hi * (1.0 + 1e-9));
-    EXPECT_GE(job.spec.beta, config.beta_lo);
-    EXPECT_LE(job.spec.beta, config.beta_hi);
+    EXPECT_GE(job.spec.stage(0).num_tasks, config.min_tasks);
+    EXPECT_LE(job.spec.stage(0).num_tasks, config.max_tasks);
+    EXPECT_GE(job.spec.stage(0).t_min, config.t_min_lo * (1.0 - 1e-9));
+    EXPECT_LE(job.spec.stage(0).t_min, config.t_min_hi * (1.0 + 1e-9));
+    EXPECT_GE(job.spec.stage(0).beta, config.beta_lo);
+    EXPECT_LE(job.spec.stage(0).beta, config.beta_hi);
     // Deadline = 2 x mean execution time by default.
-    const double mean = job.spec.t_min * job.spec.beta / (job.spec.beta - 1.0);
+    const double mean = job.spec.stage(0).t_min * job.spec.stage(0).beta / (job.spec.stage(0).beta - 1.0);
     EXPECT_NEAR(job.spec.deadline, 2.0 * mean, 1e-6 * mean);
     EXPECT_NO_THROW(job.spec.validate());
   }
@@ -154,8 +154,8 @@ TEST(GoogleTrace, TaskCountsAreHeavyTailed) {
   int small = 0;
   int large = 0;
   for (const auto& job : jobs) {
-    small += job.spec.num_tasks < 100 ? 1 : 0;
-    large += job.spec.num_tasks > 1000 ? 1 : 0;
+    small += job.spec.stage(0).num_tasks < 100 ? 1 : 0;
+    large += job.spec.stage(0).num_tasks > 1000 ? 1 : 0;
   }
   EXPECT_GT(small, 0);
   EXPECT_GT(large, 0);
@@ -182,7 +182,7 @@ TEST(GoogleTrace, DifferentSeedsDiffer) {
   const auto jb = generate_trace(b);
   int differing = 0;
   for (std::size_t i = 0; i < ja.size(); ++i) {
-    differing += ja[i].spec.num_tasks != jb[i].spec.num_tasks ? 1 : 0;
+    differing += ja[i].spec.stage(0).num_tasks != jb[i].spec.stage(0).num_tasks ? 1 : 0;
   }
   EXPECT_GT(differing, 10);
 }
